@@ -1,0 +1,100 @@
+"""E13 -- ablation: what the mark-(b) hint mechanism buys (design-choice study).
+
+DESIGN.md calls out the mark-(b) hints as the piece that turns the robust
+2-hop neighborhood (Theorem 7) into triangle *membership* listing
+(Theorem 1).  This bench quantifies that: for every insertion order of a
+triangle's three edges, it checks which of the three nodes end up knowing the
+triangle, with and without the hint mechanism, and aggregates the membership
+recall over a churn workload.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.adversary import RandomChurnAdversary, ScriptedAdversary
+from repro.core import HintFreeTriangleNode, TriangleMembershipNode
+from repro.oracle import triangles_containing
+
+from conftest import emit_table, run_experiment
+
+
+def _membership_recall_over_orders(factory):
+    """Fraction of (insertion order, member) pairs that know the triangle."""
+    hits = 0
+    total = 0
+    for order in itertools.permutations([(0, 1), (0, 2), (1, 2)]):
+        schedule = [([edge], []) for edge in order]
+        result = run_experiment(factory, ScriptedAdversary(schedule), 4)
+        for v in (0, 1, 2):
+            total += 1
+            if frozenset({0, 1, 2}) in result.nodes[v].known_triangles():
+                hits += 1
+    return hits / total
+
+
+def _membership_recall_under_churn(factory, n=16, seed=3):
+    result = run_experiment(
+        factory,
+        RandomChurnAdversary(n, num_rounds=150, inserts_per_round=3, deletes_per_round=2, seed=seed),
+        n,
+    )
+    expected = 0
+    found = 0
+    for v, node in result.nodes.items():
+        truth = triangles_containing(result.network.edges, v)
+        expected += len(truth)
+        found += len(truth & node.known_triangles())
+    return (found / expected if expected else 1.0), result.amortized_round_complexity
+
+
+VARIANTS = [
+    ("full Theorem 1 structure (with hints)", TriangleMembershipNode),
+    ("ablation: hints disabled (Theorem 7 knowledge only)", HintFreeTriangleNode),
+]
+
+
+@pytest.mark.parametrize("label,factory", VARIANTS)
+def test_ablation(benchmark, label, factory):
+    recall = benchmark.pedantic(_membership_recall_over_orders, args=(factory,), rounds=1, iterations=1)
+    benchmark.extra_info["membership_recall_over_orders"] = recall
+    if factory is TriangleMembershipNode:
+        assert recall == 1.0
+    else:
+        assert recall < 1.0
+
+
+def _emit_table_impl():
+    rows = []
+    for label, factory in VARIANTS:
+        order_recall = _membership_recall_over_orders(factory)
+        churn_recall, amortized = _membership_recall_under_churn(factory)
+        rows.append(
+            [
+                label,
+                round(order_recall, 3),
+                round(churn_recall, 3),
+                round(amortized, 3),
+            ]
+        )
+    emit_table(
+        "E13_ablation_hints",
+        [
+            "variant",
+            "membership recall over all insertion orders",
+            "membership recall under churn",
+            "amortized rounds (churn)",
+        ],
+        rows,
+        claim="design choice: the mark-(b) hints are what close the gap from robust 2-hop to full triangle membership",
+    )
+    # The full structure is perfect; the ablation misses a sizable fraction.
+    assert rows[0][1] == 1.0 and rows[0][2] == 1.0
+    assert rows[1][1] < 1.0
+
+
+def test_emit_table(benchmark, results_dir):
+    """Regenerate and persist this experiment's table (runs under --benchmark-only)."""
+    benchmark.pedantic(_emit_table_impl, rounds=1, iterations=1)

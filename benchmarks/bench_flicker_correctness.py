@@ -1,0 +1,70 @@
+"""E10 -- the Section 1.3 bad case: timestamp-free forwarding is incorrect.
+
+Runs the flickering-triangle schedule against the naive forwarding strawman and
+against the paper's structures (robust 2-hop and triangle membership), and
+tabulates who ends up believing what about the deleted far edge.  The expected
+shape: the strawman is consistent-but-wrong, the paper's structures are
+consistent-and-right, at identical amortized cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import FlickerTriangleAdversary
+from repro.core import (
+    NaiveForwardingNode,
+    RobustTwoHopNode,
+    TriangleMembershipNode,
+)
+
+from conftest import emit_table, run_experiment
+
+ALGORITHMS = [
+    ("naive forwarding (Section 1.3 strawman)", NaiveForwardingNode, True),
+    ("robust 2-hop (Theorem 7)", RobustTwoHopNode, False),
+    ("triangle membership (Theorem 1)", TriangleMembershipNode, False),
+]
+
+
+def _run(factory):
+    adversary = FlickerTriangleAdversary()
+    result = run_experiment(factory, adversary, 9)
+    node_v = result.nodes[adversary.v]
+    believes = node_v.knows_edge(*adversary.doomed_edge)
+    return result, believes, node_v.is_consistent()
+
+
+@pytest.mark.parametrize("label,factory,expect_wrong", ALGORITHMS)
+def test_flicker(benchmark, label, factory, expect_wrong):
+    result, believes_ghost, consistent = benchmark.pedantic(_run, args=(factory,), rounds=1, iterations=1)
+    benchmark.extra_info["believes_deleted_edge"] = believes_ghost
+    assert consistent
+    assert believes_ghost is expect_wrong
+
+
+def _emit_table_impl():
+    rows = []
+    for label, factory, expect_wrong in ALGORITHMS:
+        result, believes_ghost, consistent = _run(factory)
+        rows.append(
+            [
+                label,
+                consistent,
+                believes_ghost,
+                "WRONG" if believes_ghost else "correct",
+                round(result.amortized_round_complexity, 4),
+            ]
+        )
+        assert believes_ghost is expect_wrong
+    emit_table(
+        "E10_flicker_correctness",
+        ["algorithm", "claims consistency", "believes deleted far edge", "verdict", "amortized rounds"],
+        rows,
+        claim="Section 1.3: without insertion-time bookkeeping the forwarding strawman stays wrong forever",
+    )
+
+
+def test_emit_table(benchmark, results_dir):
+    """Regenerate and persist this experiment's table (runs under --benchmark-only)."""
+    benchmark.pedantic(_emit_table_impl, rounds=1, iterations=1)

@@ -1,0 +1,73 @@
+"""E7 -- Lemma 1: full 2-hop neighborhood listing in O(n / log n) amortized rounds.
+
+Measures the amortized round complexity of the Lemma 1 algorithm on a
+growing-star workload (each insertion forces a fresh neighborhood snapshot,
+the worst case for this algorithm) across network sizes, fits the measurements
+against the reference growth models, and checks that ``n / log n`` explains
+them better than a constant does -- i.e. the upper bound of Lemma 1 and the
+lower bound of Corollary 2 meet.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import WAIT_FOR_STABILITY, ScheduleAdversary
+from repro.analysis import compare_models
+from repro.core import TwoHopListingNode
+from repro.simulator import RoundChanges
+
+from conftest import emit_table, run_experiment
+
+SIZES = [16, 32, 64, 128]
+
+
+def _star_schedule(n: int):
+    for i in range(1, n):
+        yield RoundChanges.inserts([(0, i)])
+        yield WAIT_FOR_STABILITY
+
+
+def _run(n: int):
+    return run_experiment(TwoHopListingNode, ScheduleAdversary(_star_schedule(n)), n)
+
+
+@pytest.mark.parametrize("n", [16, 64])
+def test_growing_star(benchmark, n):
+    result = benchmark.pedantic(_run, args=(n,), rounds=1, iterations=1)
+    benchmark.extra_info["amortized_round_complexity"] = result.amortized_round_complexity
+
+
+def _emit_table_impl():
+    rows = []
+    sizes = []
+    values = []
+    for n in SIZES:
+        result = _run(n)
+        rows.append(
+            [
+                n,
+                result.metrics.total_changes,
+                result.metrics.inconsistent_rounds,
+                round(result.amortized_round_complexity, 4),
+                result.bandwidth.max_observed_bits,
+                result.bandwidth.budget_bits(n),
+            ]
+        )
+        sizes.append(n)
+        values.append(result.amortized_round_complexity)
+    emit_table(
+        "E7_lemma1_twohop_listing",
+        ["n", "changes", "inconsistent rounds", "amortized rounds", "max msg bits", "budget bits"],
+        rows,
+        claim="Lemma 1: O(n / log n) amortized rounds for full 2-hop neighborhood listing",
+    )
+    fits = compare_models(sizes, values, models=("constant", "n_over_log_n"))
+    assert fits["n_over_log_n"].relative_residual < fits["constant"].relative_residual
+    # The cost at n=128 is markedly higher than at n=16 (non-constant behaviour).
+    assert values[-1] > 3 * values[0]
+
+
+def test_emit_table(benchmark, results_dir):
+    """Regenerate and persist this experiment's table (runs under --benchmark-only)."""
+    benchmark.pedantic(_emit_table_impl, rounds=1, iterations=1)

@@ -1,0 +1,68 @@
+"""E9 -- Remark 1: already 3-path listing hits the sqrt(n)/log n lower bound.
+
+Validates the unified-endpoint variant of the Figure 4 construction: bridging
+two hubs creates one 3-path per shared leaf index (at least D/3 of them), so
+the same counting argument applies to a 4-vertex subgraph that is *not* a
+clique -- complementing Theorem 2's membership result and marking where
+"ultra-fast" listing stops.
+"""
+
+from __future__ import annotations
+
+from repro.adversary import ThreePathLowerBoundAdversary
+from repro.simulator import DynamicNetwork
+from repro.simulator.adversary import AdversaryView
+
+from conftest import emit_table
+
+
+def _run(n: int, num_components: int, seed: int = 0):
+    adversary = ThreePathLowerBoundAdversary(n, num_components=num_components, seed=seed)
+    network = DynamicNetwork(n)
+    sampled_paths_per_visit = []
+    while not adversary.is_done:
+        view = AdversaryView.from_network(network, network.round_index + 1, True)
+        changes = adversary.changes_for_round(view)
+        if changes is None:
+            break
+        network.apply_changes(network.round_index + 1, changes)
+        if changes.insertions and adversary.connection_events and len(sampled_paths_per_visit) < 6:
+            # A bridge (hub_l, hub_m) was just inserted: count the 3-paths
+            # v - hub_l - hub_m - v' it creates.
+            ell, m = adversary.connection_events[len(sampled_paths_per_visit)]
+            shared = adversary.shared_leaf_indices(ell, m)
+            sampled_paths_per_visit.append(len(shared))
+    return adversary, sampled_paths_per_visit
+
+
+def test_construction_structure(benchmark):
+    adversary, per_visit = benchmark.pedantic(_run, args=(100, 4), rounds=1, iterations=1)
+    benchmark.extra_info["three_paths_per_visit"] = per_visit
+    assert per_visit
+    assert all(count >= adversary.D // 3 for count in per_visit)
+
+
+def _emit_table_impl():
+    adversary, per_visit = _run(100, 4)
+    rows = [
+        [
+            100,
+            adversary.t,
+            adversary.D,
+            adversary.attached_count,
+            min(per_visit),
+            adversary.D // 3,
+        ]
+    ]
+    emit_table(
+        "E9_remark1_threepath",
+        ["n", "components used", "D (leaves)", "attached (2D/3)", "min 3-paths per visit", "required D/3"],
+        rows,
+        claim="Remark 1: each hub visit creates >= D/3 three-paths, so 3-path listing also needs Omega(sqrt(n)/log n)",
+    )
+    assert min(per_visit) >= adversary.D // 3
+
+
+def test_emit_table(benchmark, results_dir):
+    """Regenerate and persist this experiment's table (runs under --benchmark-only)."""
+    benchmark.pedantic(_emit_table_impl, rounds=1, iterations=1)

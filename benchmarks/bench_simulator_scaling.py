@@ -1,0 +1,115 @@
+"""E12 -- Figure 1 substrate: simulator throughput, serial vs. process-parallel.
+
+Not a paper experiment, but the substrate every other experiment stands on:
+this bench measures wall-clock throughput (simulated rounds per second) of the
+serial round engine across network sizes, and compares the serial engine with
+the sharded (multi-process) engine on the same workload so the trade-off
+(pickling overhead vs. parallel node phases) is documented with numbers.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.adversary import RandomChurnAdversary
+from repro.core import TriangleMembershipNode
+from repro.simulator import DynamicNetwork, MetricsCollector, RoundEngine, ShardedRoundEngine
+from repro.simulator.adversary import AdversaryView
+
+from conftest import emit_table
+
+ROUNDS = 60
+
+
+def _run_serial(n: int, seed: int = 0) -> MetricsCollector:
+    adversary = RandomChurnAdversary(
+        n, num_rounds=ROUNDS, inserts_per_round=3, deletes_per_round=2, seed=seed
+    )
+    network = DynamicNetwork(n)
+    nodes = {v: TriangleMembershipNode(v, n) for v in range(n)}
+    engine = RoundEngine(network, nodes)
+    while not adversary.is_done:
+        view = AdversaryView.from_network(network, network.round_index + 1, engine.all_consistent)
+        changes = adversary.changes_for_round(view)
+        if changes is None:
+            break
+        engine.execute_round(changes)
+    return engine.metrics
+
+
+def _run_sharded(n: int, workers: int, seed: int = 0) -> MetricsCollector:
+    adversary = RandomChurnAdversary(
+        n, num_rounds=ROUNDS, inserts_per_round=3, deletes_per_round=2, seed=seed
+    )
+    with ShardedRoundEngine(n, TriangleMembershipNode, num_workers=workers) as engine:
+        while not adversary.is_done:
+            view = AdversaryView.from_network(
+                engine.network, engine.network.round_index + 1, engine.all_consistent
+            )
+            changes = adversary.changes_for_round(view)
+            if changes is None:
+                break
+            engine.execute_round(changes)
+        return engine.metrics
+
+
+@pytest.mark.parametrize("n", [32, 64, 128])
+def test_serial_engine_throughput(benchmark, n):
+    metrics = benchmark.pedantic(_run_serial, args=(n,), rounds=1, iterations=1)
+    benchmark.extra_info["rounds_simulated"] = metrics.rounds_executed
+    benchmark.extra_info["envelopes"] = metrics.total_envelopes
+    assert metrics.rounds_executed == ROUNDS
+
+
+@pytest.mark.skipif(not sys.platform.startswith("linux"), reason="fork start method required")
+@pytest.mark.parametrize("workers", [2, 4])
+def test_sharded_engine_throughput(benchmark, workers):
+    metrics = benchmark.pedantic(_run_sharded, args=(96, workers), rounds=1, iterations=1)
+    benchmark.extra_info["rounds_simulated"] = metrics.rounds_executed
+    assert metrics.rounds_executed == ROUNDS
+
+
+def _emit_table_impl():
+    import time
+
+    rows = []
+    for n in (32, 64, 128):
+        start = time.perf_counter()
+        metrics = _run_serial(n)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            [
+                f"serial n={n}",
+                metrics.rounds_executed,
+                metrics.total_envelopes,
+                round(elapsed, 3),
+                round(metrics.rounds_executed / elapsed, 1),
+            ]
+        )
+    if sys.platform.startswith("linux"):
+        for workers in (2, 4):
+            start = time.perf_counter()
+            metrics = _run_sharded(96, workers)
+            elapsed = time.perf_counter() - start
+            rows.append(
+                [
+                    f"sharded n=96 workers={workers}",
+                    metrics.rounds_executed,
+                    metrics.total_envelopes,
+                    round(elapsed, 3),
+                    round(metrics.rounds_executed / elapsed, 1),
+                ]
+            )
+    emit_table(
+        "E12_simulator_scaling",
+        ["configuration", "rounds", "envelopes", "wall-clock s", "rounds / s"],
+        rows,
+        claim="substrate only: throughput of the Figure 1 round engine (serial vs. sharded)",
+    )
+
+
+def test_emit_table(benchmark, results_dir):
+    """Regenerate and persist this experiment's table (runs under --benchmark-only)."""
+    benchmark.pedantic(_emit_table_impl, rounds=1, iterations=1)

@@ -1,0 +1,86 @@
+"""E2 -- Theorem 1: triangle membership listing in O(1) amortized rounds.
+
+Measures the amortized round complexity of the triangle membership structure
+under uniform random churn and under heavy-tailed P2P churn, across network
+sizes, together with the end-of-run correctness check (every node's triangle
+list equals the centralized ground truth).  The paper's accounting bounds the
+ratio by 3; the bench asserts the measured ratio stays below that constant and
+does not grow with n.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import HeavyTailedChurnAdversary, RandomChurnAdversary
+from repro.analysis import growth_exponent
+from repro.core import TriangleMembershipNode
+from repro.oracle import triangles_containing
+
+from conftest import emit_table, run_experiment
+
+SIZES = [16, 32, 64]
+
+
+def _run_churn(n: int, seed: int = 0):
+    return run_experiment(
+        TriangleMembershipNode,
+        RandomChurnAdversary(
+            n, num_rounds=150, inserts_per_round=3, deletes_per_round=2, seed=seed
+        ),
+        n,
+    )
+
+
+def _run_p2p(n: int, seed: int = 0):
+    return run_experiment(
+        TriangleMembershipNode,
+        HeavyTailedChurnAdversary(n, num_rounds=150, seed=seed),
+        n,
+    )
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_random_churn(benchmark, n):
+    result = benchmark.pedantic(_run_churn, args=(n,), rounds=1, iterations=1)
+    benchmark.extra_info["amortized_round_complexity"] = result.amortized_round_complexity
+    assert result.metrics.max_running_amortized_complexity() <= 3.0 + 1e-9
+
+
+def _emit_table_impl():
+    rows = []
+    churn_measure = []
+    for n in SIZES:
+        for label, result in (("uniform", _run_churn(n)), ("p2p heavy-tailed", _run_p2p(n))):
+            correct = all(
+                node.known_triangles() == triangles_containing(result.network.edges, v)
+                for v, node in result.nodes.items()
+            )
+            rows.append(
+                [
+                    n,
+                    label,
+                    result.metrics.total_changes,
+                    round(result.amortized_round_complexity, 4),
+                    round(result.metrics.max_running_amortized_complexity(), 4),
+                    correct,
+                ]
+            )
+            if label == "uniform":
+                churn_measure.append((n, result.amortized_round_complexity))
+            assert correct
+    emit_table(
+        "E2_theorem1_triangle_membership",
+        ["n", "workload", "changes", "amortized rounds", "worst prefix", "matches oracle"],
+        rows,
+        claim="Theorem 1: O(1) amortized rounds (accounting constant 3)",
+    )
+    sizes = [n for n, _ in churn_measure]
+    values = [max(v, 1e-6) for _, v in churn_measure]
+    assert growth_exponent(sizes, values) < 0.25
+    assert all(v <= 3.0 + 1e-9 for v in values)
+
+
+def test_emit_table(benchmark, results_dir):
+    """Regenerate and persist this experiment's table (runs under --benchmark-only)."""
+    benchmark.pedantic(_emit_table_impl, rounds=1, iterations=1)

@@ -1,0 +1,84 @@
+"""E6 -- Theorem 2 / Corollary 2: non-clique membership listing needs ~n/log n.
+
+Runs the Theorem 2 rewiring adversary for several non-clique patterns against
+the Lemma 1 baseline (the natural algorithm able to answer such membership
+queries) and, for contrast, against the Theorem 1 clique structure.  The bench
+reports the measured amortized complexity next to the information-theoretic
+bound recomputed from the proof, and asserts the expected shape: the baseline's
+cost grows with n while the clique structure's stays constant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import MembershipLowerBoundAdversary
+from repro.analysis import growth_exponent, theorem2_lower_bound
+from repro.core import TriangleMembershipNode, TwoHopListingNode
+from repro.core.membership import PATTERNS
+
+from conftest import emit_table, run_experiment
+
+SIZES = [16, 32, 64]
+PATTERN_NAMES = ["P3", "P4", "diamond"]
+ITERATIONS = 8
+
+
+def _run(factory, n: int, pattern_name: str):
+    adversary = MembershipLowerBoundAdversary(
+        n, PATTERNS[pattern_name], num_iterations=ITERATIONS
+    )
+    return run_experiment(factory, adversary, n)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_lemma1_baseline_under_theorem2_adversary(benchmark, n):
+    result = benchmark.pedantic(_run, args=(TwoHopListingNode, n, "P3"), rounds=1, iterations=1)
+    benchmark.extra_info["amortized_round_complexity"] = result.amortized_round_complexity
+
+
+def _emit_table_impl():
+    rows = []
+    p3_costs = []
+    for pattern_name in PATTERN_NAMES:
+        for n in SIZES:
+            baseline = _run(TwoHopListingNode, n, pattern_name)
+            clique_struct = _run(TriangleMembershipNode, n, pattern_name)
+            bound = theorem2_lower_bound(n, PATTERNS[pattern_name].k)
+            rows.append(
+                [
+                    pattern_name,
+                    n,
+                    baseline.metrics.total_changes,
+                    round(baseline.amortized_round_complexity, 4),
+                    round(clique_struct.amortized_round_complexity, 4),
+                    round(bound.amortized_lower_bound, 4),
+                ]
+            )
+            if pattern_name == "P3":
+                p3_costs.append((n, baseline.amortized_round_complexity))
+    emit_table(
+        "E6_theorem2_membership_lower_bound",
+        [
+            "pattern H",
+            "n",
+            "changes",
+            "Lemma 1 baseline amortized rounds",
+            "clique structure amortized rounds",
+            "counting bound (proof constants)",
+        ],
+        rows,
+        claim="Theorem 2: membership listing of any non-clique H needs Omega(n / log n) amortized rounds",
+    )
+    # Shape: the baseline's cost grows clearly with n ...
+    sizes = [n for n, _ in p3_costs]
+    values = [max(v, 1e-6) for _, v in p3_costs]
+    assert values[-1] > 1.5 * values[0]
+    assert growth_exponent(sizes, values) > 0.3
+    # ... while the clique structure stays constant (<= 3) on every row.
+    assert all(row[4] <= 3.0 + 1e-9 for row in rows)
+
+
+def test_emit_table(benchmark, results_dir):
+    """Regenerate and persist this experiment's table (runs under --benchmark-only)."""
+    benchmark.pedantic(_emit_table_impl, rounds=1, iterations=1)

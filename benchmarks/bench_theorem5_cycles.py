@@ -1,0 +1,80 @@
+"""E5 -- Theorems 3 / 5: 4-cycle and 5-cycle listing in O(1) amortized rounds.
+
+Plants k-cycles (k = 4, 5) in random edge order amid churn and measures the
+amortized round complexity, plus the listing guarantee on the final graph: for
+every k-cycle, at least one member answers TRUE when all members are queried.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CycleListingNode
+from repro.oracle import cycles_of_length
+from repro.workloads import planted_cycle_churn
+
+from conftest import emit_table, run_experiment
+
+N = 18
+KS = [4, 5]
+
+
+def _run(k: int, seed: int = 1):
+    adversary, plants = planted_cycle_churn(N, k, num_plants=4, seed=seed, teardown=False)
+    result = run_experiment(CycleListingNode, adversary, N)
+    return result, plants
+
+
+def _listing_coverage(result, k):
+    """Fraction of final-graph k-cycles listed by at least one member."""
+    network = result.network
+    cycles = cycles_of_length(network.edges, k)
+    if not cycles:
+        return 1.0, 0
+    listed = 0
+    for cycle in cycles:
+        if any(
+            result.nodes[v].is_consistent() and result.nodes[v].knows_cycle_set(cycle)
+            for v in cycle
+        ):
+            listed += 1
+    return listed / len(cycles), len(cycles)
+
+
+@pytest.mark.parametrize("k", KS)
+def test_cycle_listing(benchmark, k):
+    result, _ = benchmark.pedantic(_run, args=(k,), rounds=1, iterations=1)
+    benchmark.extra_info["amortized_round_complexity"] = result.amortized_round_complexity
+    coverage, _ = _listing_coverage(result, k)
+    assert coverage == 1.0
+    assert result.metrics.max_running_amortized_complexity() <= 4.0 + 1e-9
+
+
+def _emit_table_impl():
+    rows = []
+    for k in KS:
+        result, plants = _run(k)
+        coverage, num_cycles = _listing_coverage(result, k)
+        rows.append(
+            [
+                k,
+                N,
+                num_cycles,
+                round(coverage, 3),
+                result.metrics.total_changes,
+                round(result.amortized_round_complexity, 4),
+                round(result.metrics.max_running_amortized_complexity(), 4),
+            ]
+        )
+        assert coverage == 1.0
+    emit_table(
+        "E5_theorem5_cycle_listing",
+        ["k", "n", "cycles in final graph", "listing coverage", "changes", "amortized rounds", "worst prefix"],
+        rows,
+        claim="Theorems 3/5: every 4-cycle / 5-cycle is listed by some member; O(1) amortized rounds",
+    )
+
+
+def test_emit_table(benchmark, results_dir):
+    """Regenerate and persist this experiment's table (runs under --benchmark-only)."""
+    benchmark.pedantic(_emit_table_impl, rounds=1, iterations=1)

@@ -1,0 +1,77 @@
+"""E4 -- Theorem 6: the robust 3-hop neighborhood in O(1) amortized rounds.
+
+Measures the amortized round complexity of the robust 3-hop structure under
+churn, across sizes, and verifies the Theorem 6 sandwich
+``R^{v,3} ⊆ known ⊆ E^{v,3}`` on the drained final graph.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import RandomChurnAdversary
+from repro.analysis import growth_exponent
+from repro.core import RobustThreeHopNode
+from repro.oracle import khop_edges, robust_three_hop
+
+from conftest import emit_table, run_experiment
+
+SIZES = [12, 16, 24]
+
+
+def _run(n: int, seed: int = 0):
+    return run_experiment(
+        RobustThreeHopNode,
+        RandomChurnAdversary(
+            n, num_rounds=80, inserts_per_round=3, deletes_per_round=2, seed=seed
+        ),
+        n,
+    )
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_random_churn(benchmark, n):
+    result = benchmark.pedantic(_run, args=(n,), rounds=1, iterations=1)
+    benchmark.extra_info["amortized_round_complexity"] = result.amortized_round_complexity
+    assert result.metrics.max_running_amortized_complexity() <= 4.0 + 1e-9
+
+
+def _emit_table_impl():
+    rows = []
+    measured = []
+    for n in SIZES:
+        result = _run(n)
+        network = result.network
+        times = network.insertion_times()
+        sandwich_ok = True
+        for v, node in result.nodes.items():
+            known = node.known_edges()
+            if not (robust_three_hop(network.edges, times, v) <= known <= khop_edges(network.edges, v, 3)):
+                sandwich_ok = False
+        rows.append(
+            [
+                n,
+                result.metrics.total_changes,
+                round(result.amortized_round_complexity, 4),
+                round(result.metrics.max_running_amortized_complexity(), 4),
+                result.bandwidth.max_observed_bits,
+                result.bandwidth.budget_bits(n),
+                sandwich_ok,
+            ]
+        )
+        measured.append((n, result.amortized_round_complexity))
+        assert sandwich_ok
+    emit_table(
+        "E4_theorem6_robust3hop",
+        ["n", "changes", "amortized rounds", "worst prefix", "max msg bits", "budget bits", "sandwich holds"],
+        rows,
+        claim="Theorem 6: O(1) amortized rounds; R^{v,3} subseteq known subseteq E^{v,3} when consistent",
+    )
+    sizes = [n for n, _ in measured]
+    values = [max(v, 1e-6) for _, v in measured]
+    assert growth_exponent(sizes, values) < 0.3
+
+
+def test_emit_table(benchmark, results_dir):
+    """Regenerate and persist this experiment's table (runs under --benchmark-only)."""
+    benchmark.pedantic(_emit_table_impl, rounds=1, iterations=1)

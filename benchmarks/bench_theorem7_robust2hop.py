@@ -1,0 +1,84 @@
+"""E1 -- Theorem 7: the robust 2-hop neighborhood in O(1) amortized rounds.
+
+Regenerates the quantity Theorem 7 bounds: the amortized round complexity of
+maintaining the robust 2-hop neighborhood under sustained churn, as a function
+of the network size and of the churn intensity.  The paper claims the ratio is
+bounded by a constant (at most one inconsistent round per topology change for
+this structure); the table printed by this bench shows the measured ratio and
+the bench asserts that it never exceeds that bound and does not grow with n.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import RandomChurnAdversary
+from repro.analysis import growth_exponent
+from repro.core import RobustTwoHopNode
+
+from conftest import emit_table, run_experiment
+
+SIZES = [16, 32, 64]
+CHURN_RATES = [(2, 1), (4, 2)]
+
+
+def _run(n: int, inserts: int, deletes: int, seed: int = 0):
+    return run_experiment(
+        RobustTwoHopNode,
+        RandomChurnAdversary(
+            n, num_rounds=150, inserts_per_round=inserts, deletes_per_round=deletes, seed=seed
+        ),
+        n,
+    )
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_amortized_complexity_constant_in_n(benchmark, n, results_dir):
+    result = benchmark.pedantic(_run, args=(n, 3, 2), rounds=1, iterations=1)
+    benchmark.extra_info["amortized_round_complexity"] = result.amortized_round_complexity
+    benchmark.extra_info["total_changes"] = result.metrics.total_changes
+    assert result.metrics.max_running_amortized_complexity() <= 1.0 + 1e-9
+
+
+def _emit_table_impl():
+    """Print the E1 table: amortized complexity across sizes and churn rates."""
+    rows = []
+    measurements = []
+    for n in SIZES:
+        for inserts, deletes in CHURN_RATES:
+            result = _run(n, inserts, deletes)
+            rows.append(
+                [
+                    n,
+                    f"{inserts}+{deletes}",
+                    result.metrics.total_changes,
+                    round(result.amortized_round_complexity, 4),
+                    round(result.metrics.max_running_amortized_complexity(), 4),
+                    result.bandwidth.max_observed_bits,
+                    result.bandwidth.budget_bits(n),
+                ]
+            )
+            measurements.append((n, result.amortized_round_complexity))
+    emit_table(
+        "E1_theorem7_robust2hop",
+        [
+            "n",
+            "churn (ins+del / round)",
+            "changes",
+            "amortized rounds",
+            "worst prefix",
+            "max msg bits",
+            "budget bits",
+        ],
+        rows,
+        claim="Theorem 7: O(1) amortized rounds (<= 1 inconsistent round per change)",
+    )
+    sizes = [n for n, _ in measurements]
+    values = [max(v, 1e-6) for _, v in measurements]
+    assert growth_exponent(sizes, values) < 0.25
+    assert all(v <= 1.0 + 1e-9 for v in values)
+
+
+def test_emit_table(benchmark, results_dir):
+    """Regenerate and persist this experiment's table (runs under --benchmark-only)."""
+    benchmark.pedantic(_emit_table_impl, rounds=1, iterations=1)

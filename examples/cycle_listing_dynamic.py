@@ -1,0 +1,54 @@
+"""Listing 4-cycles and 5-cycles in a dynamic graph (Theorems 3 / 5).
+
+Cycle *listing* is a collective guarantee: for every 4-cycle or 5-cycle of the
+graph, at least one of its members must answer TRUE when queried (or admit it
+is still inconsistent).  This example plants cycles edge-by-edge in random
+order amid background churn, then queries **all** members of every cycle of
+the final graph and verifies the collective guarantee, reporting which member
+"caught" each cycle.
+
+Run with::
+
+    python examples/cycle_listing_dynamic.py
+"""
+
+from __future__ import annotations
+
+from repro import SimulationRunner
+from repro.core import CycleListingNode
+from repro.oracle import cycles_of_length
+from repro.workloads import planted_cycle_churn
+
+
+def main() -> None:
+    n = 16
+    print("building a dynamic graph with planted 4-cycles and 5-cycles ...")
+
+    for k in (4, 5):
+        adversary, plants = planted_cycle_churn(n, k, num_plants=3, seed=k, teardown=False)
+        runner = SimulationRunner(
+            n=n,
+            algorithm_factory=CycleListingNode,
+            adversary=adversary,
+        )
+        result = runner.run()
+        network = result.network
+
+        cycles = cycles_of_length(network.edges, k)
+        print(f"\n{k}-cycles in the final graph: {len(cycles)} "
+              f"(amortized round complexity {result.amortized_round_complexity:.3f})")
+        for cycle in sorted(cycles, key=sorted):
+            holders = [
+                v
+                for v in sorted(cycle)
+                if result.nodes[v].is_consistent()
+                and result.nodes[v].knows_cycle_set(cycle)
+            ]
+            print(f"  cycle {sorted(cycle)}: listed by nodes {holders}")
+            assert holders, f"no member listed the cycle {sorted(cycle)}"
+
+    print("\nevery cycle was listed by at least one of its members, as Theorem 5 requires.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""The Theorem 2 adversary in action: non-clique membership listing is expensive.
+
+Theorem 2 shows that membership listing of any k-vertex pattern other than the
+k-clique costs Ω(n / log n) amortized rounds.  This example makes the
+separation tangible:
+
+* the *only* general-purpose algorithm that can answer such queries -- the full
+  2-hop listing baseline of Lemma 1 -- is run against the Theorem 2 adversary
+  for the pattern P3 (a path on three vertices) at several network sizes, and
+  its measured amortized cost grows with n;
+* the triangle membership structure (which only promises clique queries) is run
+  against the same adversary and stays at a small constant;
+* the information-theoretic bound from the proof is evaluated alongside.
+
+Run with::
+
+    python examples/lower_bound_demo.py
+"""
+
+from __future__ import annotations
+
+from repro import MembershipLowerBoundAdversary, SimulationRunner
+from repro.analysis import format_table, theorem2_lower_bound
+from repro.core import TriangleMembershipNode, TwoHopListingNode
+from repro.core.membership import PATTERNS
+
+
+def measure(factory, n: int, iterations: int) -> float:
+    adversary = MembershipLowerBoundAdversary(n, PATTERNS["P3"], num_iterations=iterations)
+    runner = SimulationRunner(n=n, algorithm_factory=factory, adversary=adversary)
+    result = runner.run()
+    return result.amortized_round_complexity
+
+
+def main() -> None:
+    sizes = [16, 32, 64]
+    iterations = 8
+    rows = []
+    for n in sizes:
+        lemma1_cost = measure(TwoHopListingNode, n, iterations)
+        triangle_cost = measure(TriangleMembershipNode, n, iterations)
+        bound = theorem2_lower_bound(n, k=3)
+        rows.append(
+            [
+                n,
+                round(lemma1_cost, 3),
+                round(triangle_cost, 3),
+                round(bound.amortized_lower_bound, 3),
+            ]
+        )
+
+    print("Theorem 2 adversary (pattern P3), measured amortized round complexity:\n")
+    print(
+        format_table(
+            [
+                "n",
+                "Lemma 1 baseline (P3 membership)",
+                "Theorem 1 structure (cliques only)",
+                "counting bound Ω(n/log n) (proof constants)",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nThe P3-capable baseline gets more expensive as n grows, while the"
+        "\nclique-membership structure stays at a constant -- the complexity"
+        "\nlandscape of Theorems 1 and 2."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""repro -- a reproduction of *Finding Subgraphs in Highly Dynamic Networks* (SPAA 2021).
+
+The library has five layers:
+
+* :mod:`repro.simulator` -- the highly dynamic network model: synchronous
+  rounds, adversarial edge insertions/deletions, ``O(log n)``-bit per-link
+  messages, local-only queries and amortized-complexity accounting.
+* :mod:`repro.core` -- the paper's distributed dynamic data structures:
+  robust 2-hop / 3-hop neighborhoods, triangle and k-clique membership
+  listing, 4-cycle and 5-cycle listing, plus the baselines they are compared
+  against.
+* :mod:`repro.adversary` -- workload generators, from random and heavy-tailed
+  churn to the exact adversarial constructions of the lower-bound proofs.
+* :mod:`repro.oracle` -- a centralized ground-truth oracle used to verify the
+  distributed algorithms.
+* :mod:`repro.analysis` / :mod:`repro.workloads` -- measurement analysis,
+  counting bounds and canned workloads for the benchmark harness.
+
+Quickstart::
+
+    from repro import SimulationRunner, TriangleMembershipNode, RandomChurnAdversary
+    from repro.core import TriangleQuery, QueryResult
+
+    runner = SimulationRunner(
+        n=30,
+        algorithm_factory=TriangleMembershipNode,
+        adversary=RandomChurnAdversary(30, num_rounds=200, seed=1),
+    )
+    result = runner.run()
+    print("amortized round complexity:", result.amortized_round_complexity)
+"""
+
+from .adversary import (
+    BatchInsertAdversary,
+    CycleLowerBoundAdversary,
+    FlickerTriangleAdversary,
+    HeavyTailedChurnAdversary,
+    MembershipLowerBoundAdversary,
+    RandomChurnAdversary,
+    ScriptedAdversary,
+    ThreePathLowerBoundAdversary,
+)
+from .core import (
+    CliqueMembershipNode,
+    CliqueQuery,
+    CycleListingNode,
+    CycleQuery,
+    EdgeQuery,
+    FullBroadcastNode,
+    NaiveForwardingNode,
+    QueryResult,
+    RobustThreeHopNode,
+    RobustTwoHopNode,
+    TriangleMembershipNode,
+    TriangleQuery,
+    TwoHopListingNode,
+    TwoHopQuery,
+)
+from .monitor import DynamicGraphMonitor, MonitorAnswer
+from .oracle import GroundTruthOracle
+from .simulator import (
+    DynamicNetwork,
+    MetricsCollector,
+    RoundChanges,
+    RoundEngine,
+    SimulationResult,
+    SimulationRunner,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BatchInsertAdversary",
+    "CliqueMembershipNode",
+    "CliqueQuery",
+    "CycleListingNode",
+    "CycleLowerBoundAdversary",
+    "CycleQuery",
+    "DynamicGraphMonitor",
+    "DynamicNetwork",
+    "EdgeQuery",
+    "FlickerTriangleAdversary",
+    "FullBroadcastNode",
+    "GroundTruthOracle",
+    "HeavyTailedChurnAdversary",
+    "MembershipLowerBoundAdversary",
+    "MetricsCollector",
+    "MonitorAnswer",
+    "NaiveForwardingNode",
+    "QueryResult",
+    "RandomChurnAdversary",
+    "RobustThreeHopNode",
+    "RobustTwoHopNode",
+    "RoundChanges",
+    "RoundEngine",
+    "ScriptedAdversary",
+    "SimulationResult",
+    "SimulationRunner",
+    "ThreePathLowerBoundAdversary",
+    "TriangleMembershipNode",
+    "TriangleQuery",
+    "TwoHopListingNode",
+    "TwoHopQuery",
+    "__version__",
+]

@@ -1,0 +1,44 @@
+"""Adversaries (workload generators) for the highly dynamic model.
+
+The adversary chooses the topology changes of every round; this package
+contains both realistic churn workloads and the worst-case constructions from
+the paper's proofs:
+
+* :class:`ScriptedAdversary` -- explicit, fully predetermined schedules.
+* :class:`RandomChurnAdversary` -- uniform random insert/delete churn.
+* :class:`HeavyTailedChurnAdversary` -- P2P churn with Pareto session lengths
+  (the paper's motivating scenario).
+* :class:`FlickerTriangleAdversary` -- the Section 1.3 bad case that defeats
+  timestamp-free forwarding.
+* :class:`BatchInsertAdversary` -- a whole graph materialised in one round.
+* :class:`MembershipLowerBoundAdversary` -- the Theorem 2 construction.
+* :class:`CycleLowerBoundAdversary` -- the Theorem 4 / Figure 4 construction.
+* :class:`ThreePathLowerBoundAdversary` -- the Remark 1 variant.
+* :class:`ScheduleAdversary` / :data:`WAIT_FOR_STABILITY` -- the generator
+  building block used by the above.
+"""
+
+from .base import WAIT_FOR_STABILITY, ScheduleAdversary
+from .batch import BatchInsertAdversary
+from .flicker import FlickerTriangleAdversary, flicker_schedule
+from .heavy_tailed import HeavyTailedChurnAdversary
+from .lowerbound_cycles import CycleLowerBoundAdversary, choose_parameters
+from .lowerbound_membership import MembershipLowerBoundAdversary
+from .random_churn import RandomChurnAdversary
+from .scripted import ScriptedAdversary
+from .threepath import ThreePathLowerBoundAdversary
+
+__all__ = [
+    "BatchInsertAdversary",
+    "choose_parameters",
+    "CycleLowerBoundAdversary",
+    "FlickerTriangleAdversary",
+    "flicker_schedule",
+    "HeavyTailedChurnAdversary",
+    "MembershipLowerBoundAdversary",
+    "RandomChurnAdversary",
+    "ScheduleAdversary",
+    "ScriptedAdversary",
+    "ThreePathLowerBoundAdversary",
+    "WAIT_FOR_STABILITY",
+]

@@ -1,0 +1,131 @@
+"""The Theorem 2 adversary: membership listing of any non-clique H is hard.
+
+Theorem 2 shows that for every ``k``-vertex pattern ``H`` that is **not** the
+``k``-clique, membership listing requires ``Ω(n / log n)`` amortized rounds.
+The proof is an adversary argument: pick two non-adjacent pattern vertices
+``a`` and ``b``, fix ``k - 2`` anchor nodes wired like the rest of ``H``, and
+then repeatedly take a fresh node ``u_ℓ``, connect it to the anchors the way
+``a`` is connected, wait for the algorithm to stabilize, then rewire it the
+way ``b`` is connected.  Because ``a`` and ``b`` are non-adjacent, the
+occurrences of ``H`` that ``u_ℓ`` completes involve *earlier* nodes
+``u_1 .. u_{ℓ-1}``, and an information-counting argument shows a near-linear
+number of bits must cross the constantly-many edges that exist at any time.
+
+:class:`MembershipLowerBoundAdversary` reproduces that schedule faithfully
+(including the "wait for the algorithm to stabilize" steps).  Experiment E6
+runs it against the Lemma 1 baseline -- the natural algorithm that *can*
+answer such membership queries -- and observes the near-linear amortized cost;
+:mod:`repro.analysis.information` recomputes the counting bound itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.membership import HPattern
+from ..simulator.events import RoundChanges, canonical_edge
+from .base import WAIT_FOR_STABILITY, ScheduleAdversary
+
+__all__ = ["MembershipLowerBoundAdversary"]
+
+
+@dataclass(frozen=True)
+class _Iteration:
+    """Bookkeeping for one adversary iteration (used by analysis and tests)."""
+
+    index: int
+    node: int
+    phase_a_edges: Tuple[Tuple[int, int], ...]
+    phase_b_edges: Tuple[Tuple[int, int], ...]
+
+
+class MembershipLowerBoundAdversary(ScheduleAdversary):
+    """The N_a / N_b rewiring adversary of Theorem 2.
+
+    Args:
+        n: number of nodes available.
+        pattern: the non-clique pattern ``H`` (e.g. ``HPattern.path(3)``).
+        num_iterations: how many fresh nodes ``u_ℓ`` to cycle through; defaults
+            to every node not used as an anchor (capped at ``n - (k - 2)``).
+
+    Attributes:
+        anchor_nodes: the ``k - 2`` anchor node ids (pattern vertices other
+            than the non-adjacent pair), in pattern-vertex order.
+        iterations: the realized iterations (node used, edges of each phase).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        pattern: HPattern,
+        *,
+        num_iterations: Optional[int] = None,
+    ) -> None:
+        if pattern.is_clique:
+            raise ValueError(
+                "Theorem 2 applies to non-clique patterns only; clique membership "
+                "listing is cheap (Corollary 1)"
+            )
+        pair = pattern.non_adjacent_pair()
+        assert pair is not None  # guaranteed by the non-clique check
+        self.pattern = pattern
+        self.vertex_a, self.vertex_b = pair
+        anchors = [x for x in range(pattern.k) if x not in pair]
+        if n < len(anchors) + 1:
+            raise ValueError(f"need at least {len(anchors) + 1} nodes for pattern {pattern.name}")
+        #: pattern anchor vertex -> network node id (anchors occupy ids 0..k-3).
+        self.anchor_map: Dict[int, int] = {vertex: idx for idx, vertex in enumerate(anchors)}
+        self.anchor_nodes: List[int] = [self.anchor_map[v] for v in anchors]
+        available = n - len(anchors)
+        self.num_iterations = (
+            available if num_iterations is None else min(num_iterations, available)
+        )
+        self.iterations: List[_Iteration] = []
+        super().__init__(self._build_schedule())
+
+    # ------------------------------------------------------------------ #
+    # Schedule construction
+    # ------------------------------------------------------------------ #
+    def _anchor_edges_for(self, u: int, pattern_vertex: int) -> List[Tuple[int, int]]:
+        """Edges connecting ``u`` to the anchors the way ``pattern_vertex`` is connected."""
+        edges = []
+        for neighbor in sorted(self.pattern.neighbors(pattern_vertex)):
+            if neighbor in self.anchor_map:
+                edges.append(canonical_edge(u, self.anchor_map[neighbor]))
+        return edges
+
+    def _build_schedule(self):
+        # Round 1: wire the anchors like the induced pattern on them.
+        anchor_edges = []
+        for x, y in self.pattern.edges:
+            if x in self.anchor_map and y in self.anchor_map:
+                anchor_edges.append(canonical_edge(self.anchor_map[x], self.anchor_map[y]))
+        if anchor_edges:
+            yield RoundChanges.inserts(sorted(set(anchor_edges)))
+            yield WAIT_FOR_STABILITY
+
+        first_free = len(self.anchor_nodes)
+        for ell in range(self.num_iterations):
+            u = first_free + ell
+            phase_a = self._anchor_edges_for(u, self.vertex_a)
+            phase_b = self._anchor_edges_for(u, self.vertex_b)
+            self.iterations.append(
+                _Iteration(ell + 1, u, tuple(phase_a), tuple(phase_b))
+            )
+            # Connect like vertex a, wait for stabilization.
+            if phase_a:
+                yield RoundChanges.inserts(phase_a)
+                yield WAIT_FOR_STABILITY
+            # Rewire like vertex b (disconnect everything, reconnect), wait.
+            inserts = [e for e in phase_b if e not in phase_a]
+            deletes = [e for e in phase_a if e not in phase_b]
+            if inserts or deletes:
+                yield RoundChanges.of(insert=inserts, delete=deletes)
+                yield WAIT_FOR_STABILITY
+            # Finally drop the remaining attachment so the next iteration
+            # starts from a clean slate for this node (keeps the number of
+            # simultaneously-present edges constant, as in the proof).
+            if phase_b:
+                yield RoundChanges.deletes(phase_b)
+                yield WAIT_FOR_STABILITY

@@ -1,0 +1,72 @@
+"""Adversaries with an explicit, fully predetermined schedule.
+
+:class:`ScriptedAdversary` replays a literal list of per-round batches; it is
+the workhorse of the unit tests, which construct precise interleavings of
+insertions and deletions to exercise specific code paths of the algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..simulator.adversary import Adversary, AdversaryView
+from ..simulator.events import RoundChanges
+
+__all__ = ["ScriptedAdversary"]
+
+
+class ScriptedAdversary(Adversary):
+    """Replays a fixed list of round batches, then reports it is done.
+
+    Args:
+        rounds: one entry per round; each entry is either a
+            :class:`RoundChanges`, a pair ``(insert_edges, delete_edges)``, or
+            ``None`` for a quiet round.
+    """
+
+    def __init__(self, rounds: Iterable) -> None:
+        self._rounds: List[RoundChanges] = [self._coerce(r) for r in rounds]
+        self._cursor = 0
+
+    @staticmethod
+    def _coerce(entry) -> RoundChanges:
+        if entry is None:
+            return RoundChanges.empty()
+        if isinstance(entry, RoundChanges):
+            return entry
+        if isinstance(entry, tuple) and len(entry) == 2:
+            insert, delete = entry
+            return RoundChanges.of(insert=insert, delete=delete)
+        raise TypeError(
+            f"cannot interpret schedule entry {entry!r}; expected RoundChanges, "
+            "(insert, delete) pair, or None"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Adversary interface
+    # ------------------------------------------------------------------ #
+    def changes_for_round(self, view: AdversaryView) -> Optional[RoundChanges]:
+        if self._cursor >= len(self._rounds):
+            return None
+        changes = self._rounds[self._cursor]
+        self._cursor += 1
+        return changes
+
+    @property
+    def is_done(self) -> bool:
+        return self._cursor >= len(self._rounds)
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def single_batch(
+        cls, insert: Sequence[Tuple[int, int]] = (), delete: Sequence[Tuple[int, int]] = ()
+    ) -> "ScriptedAdversary":
+        """An adversary that applies one batch in round 1 and then stops."""
+        return cls([RoundChanges.of(insert=insert, delete=delete)])
+
+    @classmethod
+    def one_edge_per_round(cls, edges: Sequence[Tuple[int, int]]) -> "ScriptedAdversary":
+        """Insert the given edges one per round, in order."""
+        return cls([RoundChanges.inserts([e]) for e in edges])

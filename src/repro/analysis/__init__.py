@@ -1,0 +1,35 @@
+"""Analysis utilities: amortized-complexity fits, counting bounds, result tables."""
+
+from .amortized import (
+    MODELS,
+    FitResult,
+    compare_models,
+    fit_scaled_model,
+    growth_exponent,
+    is_bounded_by_constant,
+)
+from .information import (
+    Theorem2Bound,
+    Theorem4Bound,
+    log2_binomial,
+    theorem2_lower_bound,
+    theorem4_lower_bound,
+)
+from .tables import format_float, format_table, write_csv
+
+__all__ = [
+    "MODELS",
+    "FitResult",
+    "Theorem2Bound",
+    "Theorem4Bound",
+    "compare_models",
+    "fit_scaled_model",
+    "format_float",
+    "format_table",
+    "growth_exponent",
+    "is_bounded_by_constant",
+    "log2_binomial",
+    "theorem2_lower_bound",
+    "theorem4_lower_bound",
+    "write_csv",
+]

@@ -1,0 +1,69 @@
+"""Plain-text and CSV result tables for the benchmark harness.
+
+The paper has no empirical tables, so the harness prints its own: one table
+per experiment, with the paper's claimed bound next to the measured values.
+These helpers keep the formatting consistent across all benches and
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "write_csv", "format_float"]
+
+
+def format_float(value, precision: int = 4) -> str:
+    """Format numbers compactly for table cells (ints stay ints)."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6 or abs(value) < 1e-3:
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render an aligned plain-text table.
+
+    Args:
+        headers: column names.
+        rows: row values (any objects; floats are formatted compactly).
+
+    Returns:
+        The table as a single string, including a separator line under the
+        header.
+    """
+    rendered_rows: List[List[str]] = [[format_float(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header length")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def write_csv(path: str | Path, headers: Sequence[str], rows: Iterable[Sequence]) -> Path:
+    """Write the same table as CSV and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(list(row))
+    return path

@@ -1,0 +1,124 @@
+"""Command-line interface: run a quick simulation and print its metrics.
+
+Installed as the ``repro-dynamic-subgraphs`` console script.  It is a thin
+convenience layer over :class:`~repro.simulator.runner.SimulationRunner` for
+kicking the tyres of an algorithm/adversary combination without writing code::
+
+    repro-dynamic-subgraphs --algorithm triangle --adversary churn --nodes 40 --rounds 300
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from .adversary import (
+    BatchInsertAdversary,
+    HeavyTailedChurnAdversary,
+    MembershipLowerBoundAdversary,
+    RandomChurnAdversary,
+)
+from .analysis.tables import format_table
+from .core import (
+    CliqueMembershipNode,
+    CycleListingNode,
+    NaiveForwardingNode,
+    RobustThreeHopNode,
+    RobustTwoHopNode,
+    TriangleMembershipNode,
+    TwoHopListingNode,
+)
+from .core.membership import PATTERNS
+from .simulator import SimulationRunner
+
+__all__ = ["main", "build_parser"]
+
+ALGORITHMS: Dict[str, Callable] = {
+    "robust2hop": RobustTwoHopNode,
+    "triangle": TriangleMembershipNode,
+    "clique": CliqueMembershipNode,
+    "robust3hop": RobustThreeHopNode,
+    "cycles": CycleListingNode,
+    "twohop": TwoHopListingNode,
+    "naive": NaiveForwardingNode,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-dynamic-subgraphs",
+        description="Run a highly-dynamic-network simulation and report amortized complexity.",
+    )
+    parser.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="triangle")
+    parser.add_argument(
+        "--adversary",
+        choices=["churn", "p2p", "batch", "theorem2"],
+        default="churn",
+        help="churn: uniform random churn; p2p: heavy-tailed sessions; "
+        "batch: one-shot random graph; theorem2: the membership lower-bound adversary",
+    )
+    parser.add_argument("--nodes", type=int, default=30)
+    parser.add_argument("--rounds", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--inserts-per-round", type=int, default=2)
+    parser.add_argument("--deletes-per-round", type=int, default=1)
+    parser.add_argument(
+        "--pattern", choices=sorted(PATTERNS), default="P3", help="pattern for --adversary theorem2"
+    )
+    parser.add_argument(
+        "--bandwidth-factor", type=int, default=8, help="per-link budget = factor * ceil(log2 n) bits"
+    )
+    parser.add_argument(
+        "--loose-bandwidth",
+        action="store_true",
+        help="record bandwidth violations instead of raising (needed for the naive baselines)",
+    )
+    return parser
+
+
+def _build_adversary(args: argparse.Namespace):
+    if args.adversary == "churn":
+        return RandomChurnAdversary(
+            args.nodes,
+            num_rounds=args.rounds,
+            inserts_per_round=args.inserts_per_round,
+            deletes_per_round=args.deletes_per_round,
+            seed=args.seed,
+        )
+    if args.adversary == "p2p":
+        return HeavyTailedChurnAdversary(args.nodes, num_rounds=args.rounds, seed=args.seed)
+    if args.adversary == "batch":
+        return BatchInsertAdversary.random_graph(
+            args.nodes, num_edges=3 * args.nodes, seed=args.seed
+        )
+    if args.adversary == "theorem2":
+        return MembershipLowerBoundAdversary(args.nodes, PATTERNS[args.pattern])
+    raise ValueError(f"unknown adversary {args.adversary!r}")
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    adversary = _build_adversary(args)
+    runner = SimulationRunner(
+        n=args.nodes,
+        algorithm_factory=ALGORITHMS[args.algorithm],
+        adversary=adversary,
+        bandwidth_factor=args.bandwidth_factor,
+        strict_bandwidth=not args.loose_bandwidth,
+    )
+    result = runner.run(num_rounds=args.rounds)
+    summary = result.summary()
+    print(
+        format_table(
+            ["metric", "value"],
+            sorted(summary.items()),
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""The paper's distributed dynamic data structures.
+
+This package contains the algorithmic contributions of *Finding Subgraphs in
+Highly Dynamic Networks* (SPAA 2021), implemented as
+:class:`~repro.simulator.node.NodeAlgorithm` subclasses:
+
+================================  =============================  =========================
+Algorithm                         Paper result                   Amortized rounds
+================================  =============================  =========================
+:class:`RobustTwoHopNode`         Theorem 7 (Appendix A)         O(1)
+:class:`TriangleMembershipNode`   Theorem 1                      O(1)
+:class:`CliqueMembershipNode`     Corollary 1 (any k >= 3)       O(1)
+:class:`RobustThreeHopNode`       Theorem 6                      O(1)
+:class:`CycleListingNode`         Theorems 3/5 (4- and 5-cycles) O(1)
+:class:`TwoHopListingNode`        Lemma 1 (Appendix B)           O(n / log n)
+:class:`NaiveForwardingNode`      Section 1.3 strawman           O(1) but *incorrect*
+:class:`FullBroadcastNode`        Section 2 strawman             O(1) but Θ(n)-bit messages
+================================  =============================  =========================
+
+Queries are expressed with the types in :mod:`repro.core.queries` and
+:mod:`repro.core.membership`.
+"""
+
+from .ablation import HintFreeTriangleNode
+from .clique import CliqueMembershipNode
+from .cycles import CycleListingNode, cyclic_orderings
+from .membership import HMembershipQuery, HPattern, PATTERNS
+from .naive import FullBroadcastNode, NaiveForwardingNode
+from .queries import (
+    CliqueQuery,
+    CycleQuery,
+    EdgeQuery,
+    QueryResult,
+    TriangleQuery,
+    TwoHopQuery,
+)
+from .robust2hop import RobustTwoHopNode
+from .robust3hop import RobustThreeHopNode
+from .triangle import TriangleMembershipNode
+from .twohop_listing import TwoHopListingNode
+
+__all__ = [
+    "CliqueMembershipNode",
+    "CliqueQuery",
+    "CycleListingNode",
+    "CycleQuery",
+    "cyclic_orderings",
+    "EdgeQuery",
+    "FullBroadcastNode",
+    "HintFreeTriangleNode",
+    "HMembershipQuery",
+    "HPattern",
+    "NaiveForwardingNode",
+    "PATTERNS",
+    "QueryResult",
+    "RobustThreeHopNode",
+    "RobustTwoHopNode",
+    "TriangleMembershipNode",
+    "TriangleQuery",
+    "TwoHopListingNode",
+    "TwoHopQuery",
+]

@@ -1,0 +1,39 @@
+"""Ablated variants of the paper's data structures, for the design-choice study.
+
+The paper's triangle membership structure (Theorem 1) combines two mechanisms:
+
+* the robust 2-hop neighborhood of Theorem 7 (pattern (a) of Figure 2), and
+* the mark-(b) hint mechanism that fills in the far edges which are *older*
+  than both incident edges (pattern (b) of Figure 2).
+
+Experiment E13 ("ablation") quantifies what each mechanism buys by running a
+variant with the hints switched off against the same workloads:
+
+* :class:`HintFreeTriangleNode` -- Theorem 7's knowledge only.  It maintains
+  exactly the robust 2-hop neighborhood, so it *misses* every triangle whose
+  far edge predates both of the queried node's incident edges (roughly one
+  insertion order in three); the full structure catches them all.
+
+(The complementary ablation -- keeping hints but dropping the insertion-time
+bookkeeping -- is the Section 1.3 strawman,
+:class:`~repro.core.naive.NaiveForwardingNode`, which is benchmarked by
+experiment E10.)
+"""
+
+from __future__ import annotations
+
+from .triangle import TriangleMembershipNode
+
+__all__ = ["HintFreeTriangleNode"]
+
+
+class HintFreeTriangleNode(TriangleMembershipNode):
+    """Theorem 1's structure with the mark-(b) hint mechanism disabled.
+
+    Correct for pattern-(a) edges (it is essentially the Theorem 7 structure
+    answering triangle queries) but incomplete: far edges older than both
+    incident edges are never learned, so triangle membership queries can
+    wrongly return FALSE while the node reports consistency.
+    """
+
+    GENERATE_HINTS = False

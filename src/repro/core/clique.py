@@ -1,0 +1,76 @@
+"""k-clique membership listing for any k >= 3 (Corollary 1).
+
+Triangle *membership* listing is a very strong guarantee: when consistent,
+node ``v`` knows, for every pair of its neighbors, whether the far edge
+exists.  For a k-clique ``H`` containing ``v``, every pair ``{a, b}`` of the
+other members forms a triangle ``{v, a, b}`` with ``v``, so knowing all
+triangles through ``v`` means knowing all edges of ``H``.  Consequently the
+triangle data structure of Theorem 1 answers k-clique membership queries for
+every ``k >= 3`` with no additional communication -- which is exactly
+Corollary 1 of the paper.
+
+:class:`CliqueMembershipNode` is therefore a thin query wrapper around
+:class:`~repro.core.triangle.TriangleMembershipNode`.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Any, FrozenSet, Iterable, List, Set
+
+from ..simulator.events import canonical_edge
+from .queries import CliqueQuery, QueryResult, TriangleQuery
+from .triangle import TriangleMembershipNode
+
+__all__ = ["CliqueMembershipNode"]
+
+
+class CliqueMembershipNode(TriangleMembershipNode):
+    """Per-node algorithm of Corollary 1 (k-clique membership listing).
+
+    Query interface: :class:`~repro.core.queries.CliqueQuery` (any ``k >= 3``)
+    in addition to everything :class:`TriangleMembershipNode` answers.
+    """
+
+    def query(self, query: Any) -> QueryResult:
+        if isinstance(query, CliqueQuery):
+            if self.node_id not in query.nodes:
+                raise ValueError(
+                    f"node {self.node_id} was queried for a clique not containing it: {query.nodes}"
+                )
+            if not self.consistent:
+                return QueryResult.INCONSISTENT
+            return QueryResult.of(self._knows_clique(query.nodes))
+        return super().query(query)
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _knows_clique(self, nodes: FrozenSet[int]) -> bool:
+        """Whether every pair of ``nodes`` is an edge according to local state."""
+        others = sorted(nodes - {self.node_id})
+        # All other members must be neighbors of v ...
+        if any(u not in self.adj for u in others):
+            return False
+        # ... and every pair of them must be a known far edge.
+        return all(
+            canonical_edge(a, b) in self.S for a, b in combinations(others, 2)
+        )
+
+    def known_cliques(self, k: int) -> Set[FrozenSet[int]]:
+        """Enumerate all k-cliques through this node according to local state.
+
+        This is a convenience for examples and tests; it is *not* part of the
+        query interface (queries are membership checks of a given set).  The
+        enumeration is exponential in ``k`` in the worst case, as is the
+        output size.
+        """
+        if k < 3:
+            raise ValueError("k must be at least 3")
+        cliques: Set[FrozenSet[int]] = set()
+        neighbors: List[int] = sorted(self.adj)
+        for combo in combinations(neighbors, k - 1):
+            candidate = frozenset(combo) | {self.node_id}
+            if self._knows_clique(candidate):
+                cliques.add(candidate)
+        return cliques

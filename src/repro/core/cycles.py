@@ -1,0 +1,110 @@
+"""4-cycle and 5-cycle listing (Theorems 3 and 5).
+
+Unlike clique *membership* listing, cycle listing only requires that for every
+4-cycle (5-cycle) ``H`` of the graph, **at least one** node of ``H`` answers
+TRUE when queried for ``H`` (or at least one node answers INCONSISTENT while
+the relevant part of the graph is still being propagated).  The paper shows
+this is achievable in ``O(1)`` amortized rounds by querying the robust 3-hop
+neighborhood of Theorem 6: for any k-cycle (``k ∈ {4, 5}``), the node ``v``
+adjacent (in the cycle) to the edge with the *latest* insertion time has the
+entire cycle inside its robust 3-hop neighborhood.
+
+:class:`CycleListingNode` therefore extends
+:class:`~repro.core.robust3hop.RobustThreeHopNode` with the cycle query: it
+answers TRUE iff every edge of the queried cycle is currently known.  The
+correctness guarantee is *collective* and with respect to ``G_{i-1}`` (the
+graph one round earlier), because topology changes three hops away inherently
+need an extra round to propagate (footnote 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Any, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from ..simulator.events import canonical_edge
+from .queries import CycleQuery, QueryResult
+from .robust3hop import RobustThreeHopNode
+
+__all__ = ["CycleListingNode", "cyclic_orderings"]
+
+
+def cyclic_orderings(nodes: Iterable[int], anchor: int) -> List[Tuple[int, ...]]:
+    """All distinct cyclic orderings of ``nodes`` starting at ``anchor``.
+
+    Two orderings that are rotations of each other are identified by fixing
+    the anchor as the first element; reflections are kept (they query the same
+    edge set, so duplicates are cheap and the helper stays simple).
+    """
+    rest = sorted(set(nodes) - {anchor})
+    if len(rest) + 1 != len(set(nodes)):
+        raise ValueError("anchor must be one of the nodes")
+    return [(anchor, *perm) for perm in permutations(rest)]
+
+
+class CycleListingNode(RobustThreeHopNode):
+    """Per-node algorithm of Theorem 5 (4-cycle and 5-cycle listing).
+
+    Query interface: :class:`~repro.core.queries.CycleQuery` (an explicit
+    cyclic ordering) in addition to the :class:`~repro.core.queries.EdgeQuery`
+    interface of the robust 3-hop structure.  The convenience method
+    :meth:`knows_cycle_set` checks all orderings of an unordered node set.
+    """
+
+    def query(self, query: Any) -> QueryResult:
+        if isinstance(query, CycleQuery):
+            if self.node_id not in query.cycle:
+                raise ValueError(
+                    f"node {self.node_id} was queried for a cycle not containing it: {query.cycle}"
+                )
+            if not self.consistent:
+                return QueryResult.INCONSISTENT
+            return QueryResult.of(all(self.knows_edge(*edge) for edge in query.edges))
+        return super().query(query)
+
+    # ------------------------------------------------------------------ #
+    # Convenience helpers (not part of the formal query interface)
+    # ------------------------------------------------------------------ #
+    def knows_cycle_set(self, nodes: Iterable[int]) -> bool:
+        """Whether some cyclic ordering of ``nodes`` has all its edges known locally."""
+        node_set = set(nodes)
+        if self.node_id not in node_set:
+            raise ValueError("the queried set must contain this node")
+        for ordering in cyclic_orderings(node_set, self.node_id):
+            k = len(ordering)
+            if all(
+                self.knows_edge(ordering[i], ordering[(i + 1) % k]) for i in range(k)
+            ):
+                return True
+        return False
+
+    def known_cycles(self, k: int) -> Set[FrozenSet[int]]:
+        """Enumerate the k-cycles through this node visible in the local state.
+
+        Only ``k ∈ {4, 5}`` are supported (larger cycles are provably out of
+        reach of constant amortized algorithms; Theorem 4).  The enumeration
+        walks locally known edges and is intended for examples and tests, not
+        for the formal query interface.
+        """
+        if k not in (4, 5):
+            raise ValueError("only 4-cycles and 5-cycles are supported")
+        known = self.known_edges()
+        adjacency: dict[int, Set[int]] = {}
+        for a, b in known:
+            adjacency.setdefault(a, set()).add(b)
+            adjacency.setdefault(b, set()).add(a)
+
+        cycles: Set[FrozenSet[int]] = set()
+        v = self.node_id
+
+        def extend(path: List[int]) -> None:
+            if len(path) == k:
+                if path[0] in adjacency.get(path[-1], ()):  # closes the cycle
+                    cycles.add(frozenset(path))
+                return
+            for nxt in adjacency.get(path[-1], ()):
+                if nxt not in path:
+                    extend(path + [nxt])
+
+        extend([v])
+        return cycles

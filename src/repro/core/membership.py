@@ -1,0 +1,162 @@
+"""Generic subgraph-membership query machinery (Theorem 2 framing).
+
+Theorem 2 of the paper shows that the only ``k``-vertex graph ``H`` whose
+*membership listing* can be maintained with constant amortized rounds is the
+``k``-clique: for every other ``H`` the problem requires ``Ω(n / log n)``
+amortized rounds.  To exercise that landscape we need a way to talk about an
+arbitrary pattern graph ``H`` and about queries of the form "is this labelled
+occurrence of ``H`` present in the network?".
+
+* :class:`HPattern` describes the pattern graph on vertices ``0..k-1`` and
+  provides the structural helpers the lower-bound adversary needs
+  (cliqueness check, a non-adjacent vertex pair, the neighborhoods ``N_a`` and
+  ``N_b`` of that pair).
+* :class:`HMembershipQuery` maps the pattern vertices to concrete network
+  nodes and enumerates the edges the occurrence would need.
+
+The fast algorithms of the paper only answer these queries for cliques (via
+:class:`~repro.core.clique.CliqueMembershipNode`); the Lemma 1 baseline
+(:class:`~repro.core.twohop_listing.TwoHopListingNode`) answers them for any
+pattern of radius 1 around the queried node, at near-linear amortized cost --
+which is exactly the trade-off Theorem 2 and Remark 2 describe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..simulator.events import Edge, canonical_edge
+
+__all__ = ["HPattern", "HMembershipQuery", "PATTERNS"]
+
+
+@dataclass(frozen=True)
+class HPattern:
+    """A pattern graph ``H`` on vertices ``0 .. k-1``.
+
+    Attributes:
+        name: human-readable name used in benchmark tables.
+        k: number of pattern vertices.
+        edges: pattern edges in canonical form.
+    """
+
+    name: str
+    k: int
+    edges: FrozenSet[Tuple[int, int]]
+
+    def __post_init__(self) -> None:
+        for a, b in self.edges:
+            if not (0 <= a < self.k and 0 <= b < self.k) or a >= b:
+                raise ValueError(f"invalid pattern edge ({a}, {b}) for k={self.k}")
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_edges(cls, name: str, k: int, edges: Iterable[Tuple[int, int]]) -> "HPattern":
+        return cls(name=name, k=k, edges=frozenset(canonical_edge(a, b) for a, b in edges))
+
+    @classmethod
+    def clique(cls, k: int) -> "HPattern":
+        """The k-clique pattern (the only pattern with fast membership listing)."""
+        return cls.from_edges(f"K{k}", k, combinations(range(k), 2))
+
+    @classmethod
+    def path(cls, k: int) -> "HPattern":
+        """The path on ``k`` vertices ``0 - 1 - ... - k-1``."""
+        return cls.from_edges(f"P{k}", k, ((i, i + 1) for i in range(k - 1)))
+
+    @classmethod
+    def cycle(cls, k: int) -> "HPattern":
+        """The cycle on ``k`` vertices."""
+        return cls.from_edges(f"C{k}", k, [(i, (i + 1) % k) for i in range(k)])
+
+    @classmethod
+    def diamond(cls) -> "HPattern":
+        """K4 minus one edge (a 4-vertex non-clique with diameter 2)."""
+        return cls.from_edges("diamond", 4, [(0, 1), (0, 2), (0, 3), (1, 2), (2, 3)])
+
+    # ------------------------------------------------------------------ #
+    # Structural queries
+    # ------------------------------------------------------------------ #
+    @property
+    def is_clique(self) -> bool:
+        """Whether the pattern is the complete graph on ``k`` vertices."""
+        return len(self.edges) == self.k * (self.k - 1) // 2
+
+    def degree(self, vertex: int) -> int:
+        return sum(1 for e in self.edges if vertex in e)
+
+    def neighbors(self, vertex: int) -> FrozenSet[int]:
+        """Pattern neighbors of ``vertex``."""
+        out = set()
+        for a, b in self.edges:
+            if a == vertex:
+                out.add(b)
+            elif b == vertex:
+                out.add(a)
+        return frozenset(out)
+
+    def non_adjacent_pair(self) -> Optional[Tuple[int, int]]:
+        """A pair of non-adjacent pattern vertices, or ``None`` for cliques.
+
+        This is the pair ``(a, b)`` the Theorem 2 adversary toggles the new
+        node's attachment between (connecting it like ``a``, then like ``b``).
+        """
+        for a, b in combinations(range(self.k), 2):
+            if canonical_edge(a, b) not in self.edges:
+                return (a, b)
+        return None
+
+    def has_edge(self, a: int, b: int) -> bool:
+        return canonical_edge(a, b) in self.edges
+
+
+@dataclass(frozen=True)
+class HMembershipQuery:
+    """Is the labelled occurrence ``assignment`` of ``pattern`` present?
+
+    ``assignment`` maps pattern vertex ``j`` to the network node
+    ``assignment[j]``; the occurrence is present iff every pattern edge maps
+    to an existing network edge.  The queried node must be one of the assigned
+    nodes (membership listing is about occurrences *containing* the queried
+    node).
+    """
+
+    pattern: HPattern
+    assignment: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.assignment) != self.pattern.k:
+            raise ValueError(
+                f"assignment must map all {self.pattern.k} pattern vertices, "
+                f"got {len(self.assignment)}"
+            )
+        if len(set(self.assignment)) != len(self.assignment):
+            raise ValueError("assignment must be injective")
+
+    def mapped_edges(self) -> List[Edge]:
+        """The network edges the occurrence requires."""
+        return [
+            canonical_edge(self.assignment[a], self.assignment[b])
+            for a, b in self.pattern.edges
+        ]
+
+    @property
+    def nodes(self) -> FrozenSet[int]:
+        return frozenset(self.assignment)
+
+
+#: The pattern zoo used by the benchmark harness and the Theorem 2 experiments.
+PATTERNS: Dict[str, HPattern] = {
+    "P3": HPattern.path(3),
+    "P4": HPattern.path(4),
+    "C4": HPattern.cycle(4),
+    "C5": HPattern.cycle(5),
+    "diamond": HPattern.diamond(),
+    "K3": HPattern.clique(3),
+    "K4": HPattern.clique(4),
+    "K5": HPattern.clique(5),
+}

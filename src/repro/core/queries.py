@@ -1,0 +1,139 @@
+"""Query and answer types for the distributed dynamic data structures.
+
+A distributed dynamic data structure must answer queries *without any
+communication*: either with a correct ``TRUE`` / ``FALSE`` answer or by
+declaring itself ``INCONSISTENT`` while its updating process is in progress.
+This module defines the query objects accepted by the node algorithms in
+:mod:`repro.core` and the three-valued :class:`QueryResult` they return.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import FrozenSet, Iterable, Tuple
+
+from ..simulator.events import Edge, canonical_edge
+
+__all__ = [
+    "QueryResult",
+    "EdgeQuery",
+    "TriangleQuery",
+    "CliqueQuery",
+    "CycleQuery",
+    "TwoHopQuery",
+]
+
+
+class QueryResult(Enum):
+    """Three-valued answer of a distributed dynamic data structure."""
+
+    TRUE = "true"
+    FALSE = "false"
+    INCONSISTENT = "inconsistent"
+
+    @property
+    def is_definite(self) -> bool:
+        """Whether the answer is a definite TRUE/FALSE (not INCONSISTENT)."""
+        return self is not QueryResult.INCONSISTENT
+
+    @classmethod
+    def of(cls, value: bool) -> "QueryResult":
+        """Lift a Boolean into a definite answer."""
+        return cls.TRUE if value else cls.FALSE
+
+
+@dataclass(frozen=True)
+class EdgeQuery:
+    """Does the data structure know the edge ``{u, w}``?
+
+    Used by the robust 2-hop and robust 3-hop neighborhood listings: the
+    answer is TRUE if the edge belongs to the robust set the node maintains,
+    FALSE if it is certainly not in the relevant ``r``-hop neighborhood, and
+    may be either for edges in between (see the individual algorithms for the
+    exact guarantee).
+    """
+
+    u: int
+    w: int
+
+    @property
+    def edge(self) -> Edge:
+        return canonical_edge(self.u, self.w)
+
+
+@dataclass(frozen=True)
+class TriangleQuery:
+    """Is ``{a, b, c}`` a triangle containing the queried node?"""
+
+    nodes: FrozenSet[int]
+
+    def __init__(self, nodes: Iterable[int]) -> None:
+        object.__setattr__(self, "nodes", frozenset(nodes))
+        if len(self.nodes) != 3:
+            raise ValueError(f"a triangle query needs exactly 3 distinct nodes, got {self.nodes}")
+
+
+@dataclass(frozen=True)
+class CliqueQuery:
+    """Is the node set a k-clique containing the queried node (k = |nodes|)?"""
+
+    nodes: FrozenSet[int]
+
+    def __init__(self, nodes: Iterable[int]) -> None:
+        object.__setattr__(self, "nodes", frozenset(nodes))
+        if len(self.nodes) < 3:
+            raise ValueError("a clique query needs at least 3 distinct nodes")
+
+    @property
+    def k(self) -> int:
+        return len(self.nodes)
+
+
+@dataclass(frozen=True)
+class CycleQuery:
+    """Is the given cyclically ordered node tuple a cycle in the graph?
+
+    ``cycle`` lists the nodes in cyclic order; the queried edges are the
+    consecutive pairs plus the wrap-around pair.  The queried node must be one
+    of the entries.  For the 4-cycle / 5-cycle listing problem the guarantee
+    is collective: if all nodes of a true cycle are queried, at least one
+    answers TRUE or at least one answers INCONSISTENT.
+    """
+
+    cycle: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.cycle) < 3:
+            raise ValueError("a cycle query needs at least 3 nodes")
+        if len(set(self.cycle)) != len(self.cycle):
+            raise ValueError(f"cycle nodes must be distinct: {self.cycle}")
+
+    @property
+    def k(self) -> int:
+        return len(self.cycle)
+
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        """The k edges of the queried cycle, in canonical form."""
+        k = len(self.cycle)
+        return tuple(
+            canonical_edge(self.cycle[i], self.cycle[(i + 1) % k]) for i in range(k)
+        )
+
+
+@dataclass(frozen=True)
+class TwoHopQuery:
+    """Is the edge ``{u, w}`` part of the queried node's (full) 2-hop neighborhood?
+
+    Used by the Lemma 1 baseline, which maintains the *entire* 2-hop
+    neighborhood (and therefore pays the near-linear amortized cost of
+    Corollary 2).
+    """
+
+    u: int
+    w: int
+
+    @property
+    def edge(self) -> Edge:
+        return canonical_edge(self.u, self.w)

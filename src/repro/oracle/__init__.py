@@ -1,0 +1,50 @@
+"""Centralized ground-truth oracle for checking the distributed algorithms.
+
+* :class:`GroundTruthOracle` -- per-round snapshots of the true graph plus
+  reference implementations of every set and subgraph family the paper's data
+  structures are supposed to know.
+* :mod:`repro.oracle.robust_sets` -- pure functions computing ``E^{v,r}_i``,
+  ``R^{v,2}_i``, ``T^{v,2}_i`` and ``R^{v,3}_i`` from an edge set and true
+  insertion times.
+* :mod:`repro.oracle.subgraphs` -- centralized triangle / clique / cycle
+  enumeration (networkx-based).
+"""
+
+from .ground_truth import GroundTruthOracle, RoundSnapshot
+from .robust_sets import (
+    adjacency,
+    khop_edges,
+    robust_three_hop,
+    robust_two_hop,
+    triangle_pattern_set,
+)
+from .subgraphs import (
+    all_triangles,
+    build_graph,
+    cliques_containing,
+    cycles_containing,
+    cycles_of_length,
+    is_clique,
+    is_cycle_ordering,
+    set_is_cycle,
+    triangles_containing,
+)
+
+__all__ = [
+    "GroundTruthOracle",
+    "RoundSnapshot",
+    "adjacency",
+    "all_triangles",
+    "build_graph",
+    "cliques_containing",
+    "cycles_containing",
+    "cycles_of_length",
+    "is_clique",
+    "is_cycle_ordering",
+    "khop_edges",
+    "robust_three_hop",
+    "robust_two_hop",
+    "set_is_cycle",
+    "triangle_pattern_set",
+    "triangles_containing",
+]

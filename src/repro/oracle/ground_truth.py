@@ -1,0 +1,141 @@
+"""A centralized observer of the evolving graph, used as ground truth.
+
+:class:`GroundTruthOracle` watches a :class:`~repro.simulator.network.DynamicNetwork`
+round by round (via :meth:`observe` or as a
+:class:`~repro.simulator.runner.RoundValidator`) and records, for every
+observed round, the edge set and the true insertion times of those edges.
+From that history it can answer, for any observed round:
+
+* which edges / subgraphs existed (``G_i`` and ``G_{i-1}`` checks),
+* the full r-hop neighborhood ``E^{v,r}_i`` of any node,
+* the robust sets ``R^{v,2}_i``, ``T^{v,2}_i``, ``R^{v,3}_i``.
+
+It is deliberately *centralized and slow* -- it exists to check the
+distributed algorithms, not to compete with them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set
+
+from ..simulator.events import Edge
+from ..simulator.network import DynamicNetwork
+from . import robust_sets, subgraphs
+
+__all__ = ["RoundSnapshot", "GroundTruthOracle"]
+
+
+@dataclass(frozen=True)
+class RoundSnapshot:
+    """The graph as it was at the end of one observed round."""
+
+    round_index: int
+    edges: FrozenSet[Edge]
+    insertion_times: Mapping[Edge, int]
+
+
+class GroundTruthOracle:
+    """Records per-round snapshots of the true graph and answers reference queries."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self._snapshots: Dict[int, RoundSnapshot] = {}
+        # Round 0: the empty graph the model starts from.
+        self._snapshots[0] = RoundSnapshot(0, frozenset(), {})
+        self._latest_round = 0
+
+    # ------------------------------------------------------------------ #
+    # Observation
+    # ------------------------------------------------------------------ #
+    def observe(self, network: DynamicNetwork) -> RoundSnapshot:
+        """Record the network's current state as the snapshot of its current round."""
+        snapshot = RoundSnapshot(
+            round_index=network.round_index,
+            edges=network.edges,
+            insertion_times=dict(network.insertion_times()),
+        )
+        self._snapshots[network.round_index] = snapshot
+        self._latest_round = max(self._latest_round, network.round_index)
+        return snapshot
+
+    def validator(self):
+        """A :class:`~repro.simulator.runner.RoundValidator` that records snapshots."""
+
+        def _record(round_index: int, network: DynamicNetwork, nodes) -> None:
+            self.observe(network)
+
+        return _record
+
+    # ------------------------------------------------------------------ #
+    # Snapshot access
+    # ------------------------------------------------------------------ #
+    @property
+    def latest_round(self) -> int:
+        return self._latest_round
+
+    def snapshot(self, round_index: Optional[int] = None) -> RoundSnapshot:
+        """The snapshot of ``round_index`` (default: the latest observed round).
+
+        If the exact round was not observed (e.g. a quiet round that nobody
+        recorded), the most recent observed snapshot at or before it is
+        returned -- quiet rounds do not change the graph.
+        """
+        if round_index is None:
+            round_index = self._latest_round
+        if round_index in self._snapshots:
+            return self._snapshots[round_index]
+        known = [r for r in self._snapshots if r <= round_index]
+        if not known:
+            raise KeyError(f"no snapshot at or before round {round_index}")
+        return self._snapshots[max(known)]
+
+    def edges_at(self, round_index: Optional[int] = None) -> FrozenSet[Edge]:
+        return self.snapshot(round_index).edges
+
+    def times_at(self, round_index: Optional[int] = None) -> Mapping[Edge, int]:
+        return self.snapshot(round_index).insertion_times
+
+    # ------------------------------------------------------------------ #
+    # Reference sets
+    # ------------------------------------------------------------------ #
+    def khop_edges(self, v: int, radius: int, round_index: Optional[int] = None) -> FrozenSet[Edge]:
+        snap = self.snapshot(round_index)
+        return robust_sets.khop_edges(snap.edges, v, radius)
+
+    def robust_two_hop(self, v: int, round_index: Optional[int] = None) -> FrozenSet[Edge]:
+        snap = self.snapshot(round_index)
+        return robust_sets.robust_two_hop(snap.edges, snap.insertion_times, v)
+
+    def triangle_pattern_set(self, v: int, round_index: Optional[int] = None) -> FrozenSet[Edge]:
+        snap = self.snapshot(round_index)
+        return robust_sets.triangle_pattern_set(snap.edges, snap.insertion_times, v)
+
+    def robust_three_hop(self, v: int, round_index: Optional[int] = None) -> FrozenSet[Edge]:
+        snap = self.snapshot(round_index)
+        return robust_sets.robust_three_hop(snap.edges, snap.insertion_times, v)
+
+    # ------------------------------------------------------------------ #
+    # Reference subgraphs
+    # ------------------------------------------------------------------ #
+    def triangles_containing(self, v: int, round_index: Optional[int] = None) -> Set[FrozenSet[int]]:
+        return subgraphs.triangles_containing(self.edges_at(round_index), v)
+
+    def cliques_containing(self, v: int, k: int, round_index: Optional[int] = None) -> Set[FrozenSet[int]]:
+        return subgraphs.cliques_containing(self.edges_at(round_index), v, k)
+
+    def cycles_of_length(self, k: int, round_index: Optional[int] = None) -> Set[FrozenSet[int]]:
+        return subgraphs.cycles_of_length(self.edges_at(round_index), k)
+
+    def is_triangle(self, nodes: Iterable[int], round_index: Optional[int] = None) -> bool:
+        node_set = set(nodes)
+        return len(node_set) == 3 and subgraphs.is_clique(self.edges_at(round_index), node_set)
+
+    def is_clique(self, nodes: Iterable[int], round_index: Optional[int] = None) -> bool:
+        return subgraphs.is_clique(self.edges_at(round_index), nodes)
+
+    def set_is_cycle(self, nodes: Iterable[int], round_index: Optional[int] = None) -> bool:
+        return subgraphs.set_is_cycle(self.edges_at(round_index), nodes)
+
+    def is_cycle_ordering(self, ordering, round_index: Optional[int] = None) -> bool:
+        return subgraphs.is_cycle_ordering(self.edges_at(round_index), ordering)

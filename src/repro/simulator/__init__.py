@@ -1,0 +1,82 @@
+"""Simulator substrate for highly dynamic distributed networks.
+
+This package implements the computational model of Censor-Hillel, Kolobov and
+Schwartzman (SPAA 2021): a synchronous network on ``n`` nodes that starts
+empty, whose edge set an adversary rewrites arbitrarily at the beginning of
+every round, with CONGEST-style ``O(log n)``-bit per-link messages and a
+query window at the end of every round in which each node must answer from
+local state only (or declare itself inconsistent).
+
+The public surface is:
+
+* :class:`DynamicNetwork`, :class:`RoundChanges`, :class:`EdgeInsert`,
+  :class:`EdgeDelete` -- the ground-truth dynamic graph and its change events.
+* :class:`NodeAlgorithm` -- the per-node algorithm interface.
+* :class:`RoundEngine` / :class:`ShardedRoundEngine` -- serial and
+  process-parallel round execution.
+* :class:`SimulationRunner` / :class:`SimulationResult` -- end-to-end
+  orchestration of an adversary against an algorithm.
+* :class:`BandwidthPolicy`, :class:`MetricsCollector` -- bandwidth and
+  amortized-complexity accounting.
+* :class:`Adversary`, :class:`AdversaryView` -- the adversary interface.
+* :class:`TopologyTrace` -- trace record / replay.
+"""
+
+from .adversary import Adversary, AdversaryView
+from .bandwidth import BandwidthExceededError, BandwidthPolicy, BandwidthViolation
+from .events import Edge, EdgeDelete, EdgeInsert, RoundChanges, canonical_edge
+from .messages import (
+    EdgeDeleteHopMessage,
+    EdgeEventMessage,
+    EdgeOp,
+    Envelope,
+    PathInsertMessage,
+    PatternMark,
+    SnapshotChunkMessage,
+    id_bits,
+)
+from .metrics import MetricsCollector, RoundRecord
+from .network import DynamicNetwork, NodeIndication, TopologyError
+from .node import AlgorithmFactory, NodeAlgorithm
+from .parallel import ShardedRoundEngine, shard_nodes
+from .rounds import MessageTargetError, RoundEngine
+from .runner import RoundValidator, SimulationResult, SimulationRunner
+from .trace import TopologyTrace, TraceRecordingAdversary, TraceReplayAdversary
+
+__all__ = [
+    "Adversary",
+    "AdversaryView",
+    "AlgorithmFactory",
+    "BandwidthExceededError",
+    "BandwidthPolicy",
+    "BandwidthViolation",
+    "canonical_edge",
+    "DynamicNetwork",
+    "Edge",
+    "EdgeDelete",
+    "EdgeDeleteHopMessage",
+    "EdgeEventMessage",
+    "EdgeInsert",
+    "EdgeOp",
+    "Envelope",
+    "id_bits",
+    "MessageTargetError",
+    "MetricsCollector",
+    "NodeAlgorithm",
+    "NodeIndication",
+    "PathInsertMessage",
+    "PatternMark",
+    "RoundChanges",
+    "RoundEngine",
+    "RoundRecord",
+    "RoundValidator",
+    "ShardedRoundEngine",
+    "shard_nodes",
+    "SimulationResult",
+    "SimulationRunner",
+    "SnapshotChunkMessage",
+    "TopologyError",
+    "TopologyTrace",
+    "TraceRecordingAdversary",
+    "TraceReplayAdversary",
+]

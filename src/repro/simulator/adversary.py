@@ -1,0 +1,80 @@
+"""The adversary interface of the highly dynamic model.
+
+The adversary decides, at the beginning of every round, which edges are
+inserted and deleted.  It is computationally unbounded and fully adaptive: it
+sees the entire ground-truth graph and knows whether the algorithm's data
+structures were consistent at the end of the previous round (several of the
+paper's lower-bound constructions explicitly "wait for the algorithm to
+stabilize" between steps, which requires exactly this knowledge).
+
+Concrete adversaries live in :mod:`repro.adversary`; the simulator only
+depends on this interface.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+from .events import Edge, RoundChanges
+from .network import DynamicNetwork
+
+__all__ = ["AdversaryView", "Adversary"]
+
+
+@dataclass(frozen=True)
+class AdversaryView:
+    """What the adversary is allowed to observe before choosing a round's changes.
+
+    Attributes:
+        round_index: index of the round about to start.
+        n: number of nodes.
+        edges: the current edge set (the graph ``G_{i-1}`` at the end of the
+            previous round).
+        all_consistent: whether every node's data structure declared itself
+            consistent at the end of the previous round.  ``True`` before the
+            first round.
+        total_changes: number of topology changes applied so far.
+    """
+
+    round_index: int
+    n: int
+    edges: FrozenSet[Edge]
+    all_consistent: bool
+    total_changes: int
+
+    @classmethod
+    def from_network(
+        cls, network: DynamicNetwork, round_index: int, all_consistent: bool
+    ) -> "AdversaryView":
+        return cls(
+            round_index=round_index,
+            n=network.n,
+            edges=network.edges,
+            all_consistent=all_consistent,
+            total_changes=network.total_changes,
+        )
+
+
+class Adversary(ABC):
+    """Chooses the topology changes of every round.
+
+    Subclasses implement :meth:`changes_for_round`.  Returning an empty batch
+    is allowed (a quiet round); returning ``None`` signals that the adversary
+    has finished its schedule, after which the runner either stops or keeps
+    executing quiet rounds, depending on how it was invoked.
+    """
+
+    @abstractmethod
+    def changes_for_round(self, view: AdversaryView) -> Optional[RoundChanges]:
+        """The batch of changes to apply at the beginning of this round."""
+
+    @property
+    def is_done(self) -> bool:
+        """Whether the adversary has exhausted its schedule.
+
+        The default implementation never finishes; schedule-driven adversaries
+        override this so runners can stop as soon as the scenario is over.
+        """
+        return False

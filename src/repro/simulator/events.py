@@ -1,0 +1,187 @@
+"""Topology-change events for highly dynamic networks.
+
+The model of Censor-Hillel, Kolobov and Schwartzman (SPAA 2021) starts from an
+empty graph on ``n`` nodes and, at the *beginning* of every round, applies an
+arbitrary batch of edge insertions and deletions chosen by an adversary.  The
+nodes incident to a change receive a local indication of that change before
+the communication part of the round starts (Figure 1 of the paper).
+
+This module defines the event vocabulary used throughout the simulator:
+
+* :class:`EdgeInsert` / :class:`EdgeDelete` -- a single topology change.
+* :class:`RoundChanges` -- the batch of changes applied in one round.
+* :func:`canonical_edge` -- the canonical undirected-edge representation used
+  everywhere in the code base (a sorted 2-tuple of node identifiers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence, Tuple
+
+__all__ = [
+    "Edge",
+    "canonical_edge",
+    "EdgeInsert",
+    "EdgeDelete",
+    "TopologyEvent",
+    "RoundChanges",
+]
+
+#: Canonical undirected edge type: a sorted pair of node identifiers.
+Edge = Tuple[int, int]
+
+
+def canonical_edge(u: int, v: int) -> Edge:
+    """Return the canonical representation of the undirected edge ``{u, v}``.
+
+    Node identifiers are non-negative integers.  The canonical form is the
+    pair sorted in increasing order, which makes edges hashable and directly
+    comparable regardless of the order in which endpoints are supplied.
+
+    Raises:
+        ValueError: if ``u == v`` (self loops are not part of the model) or if
+            either endpoint is negative.
+    """
+    if u == v:
+        raise ValueError(f"self loops are not allowed: ({u}, {v})")
+    if u < 0 or v < 0:
+        raise ValueError(f"node identifiers must be non-negative: ({u}, {v})")
+    return (u, v) if u < v else (v, u)
+
+
+@dataclass(frozen=True)
+class EdgeInsert:
+    """Insertion of the undirected edge ``{u, v}``."""
+
+    u: int
+    v: int
+
+    @property
+    def edge(self) -> Edge:
+        """Canonical edge touched by this event."""
+        return canonical_edge(self.u, self.v)
+
+    @property
+    def is_insert(self) -> bool:
+        return True
+
+    @property
+    def is_delete(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class EdgeDelete:
+    """Deletion of the undirected edge ``{u, v}``."""
+
+    u: int
+    v: int
+
+    @property
+    def edge(self) -> Edge:
+        """Canonical edge touched by this event."""
+        return canonical_edge(self.u, self.v)
+
+    @property
+    def is_insert(self) -> bool:
+        return False
+
+    @property
+    def is_delete(self) -> bool:
+        return True
+
+
+#: Union type of the two concrete topology events.
+TopologyEvent = EdgeInsert | EdgeDelete
+
+
+@dataclass
+class RoundChanges:
+    """The batch of topology changes applied at the beginning of one round.
+
+    The adversary of the highly dynamic model may insert and delete an
+    *arbitrary* number of edges per round; a :class:`RoundChanges` instance is
+    simply the ordered collection of those events.  The order inside a batch
+    has no semantic meaning (all changes of a round are simultaneous), but a
+    batch may not contain two events touching the same edge -- the adversary
+    must pick, for every edge, at most one of "insert" or "delete" per round.
+
+    Attributes:
+        events: the topology events of the round.
+    """
+
+    events: list[TopologyEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        seen: set[Edge] = set()
+        for ev in self.events:
+            e = ev.edge
+            if e in seen:
+                raise ValueError(
+                    f"round batch contains more than one event for edge {e}"
+                )
+            seen.add(e)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls) -> "RoundChanges":
+        """A round with no topology changes (a *quiet* round)."""
+        return cls([])
+
+    @classmethod
+    def inserts(cls, edges: Iterable[Tuple[int, int]]) -> "RoundChanges":
+        """Build a batch consisting only of insertions of ``edges``."""
+        return cls([EdgeInsert(u, v) for (u, v) in edges])
+
+    @classmethod
+    def deletes(cls, edges: Iterable[Tuple[int, int]]) -> "RoundChanges":
+        """Build a batch consisting only of deletions of ``edges``."""
+        return cls([EdgeDelete(u, v) for (u, v) in edges])
+
+    @classmethod
+    def of(
+        cls,
+        insert: Iterable[Tuple[int, int]] = (),
+        delete: Iterable[Tuple[int, int]] = (),
+    ) -> "RoundChanges":
+        """Build a batch with both insertions and deletions."""
+        evs: list[TopologyEvent] = [EdgeDelete(u, v) for (u, v) in delete]
+        evs.extend(EdgeInsert(u, v) for (u, v) in insert)
+        return cls(evs)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def insertions(self) -> list[Edge]:
+        """Canonical edges inserted in this round."""
+        return [ev.edge for ev in self.events if ev.is_insert]
+
+    @property
+    def deletions(self) -> list[Edge]:
+        """Canonical edges deleted in this round."""
+        return [ev.edge for ev in self.events if ev.is_delete]
+
+    def touched_nodes(self) -> set[int]:
+        """All nodes incident to at least one event of the batch."""
+        nodes: set[int] = set()
+        for ev in self.events:
+            nodes.update(ev.edge)
+        return nodes
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __iter__(self) -> Iterator[TopologyEvent]:
+        return iter(self.events)
+
+    def extend(self, events: Sequence[TopologyEvent]) -> None:
+        """Append further events, re-validating edge uniqueness."""
+        self.events.extend(events)
+        self.__post_init__()

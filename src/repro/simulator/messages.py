@@ -1,0 +1,213 @@
+"""Message vocabulary with honest bit-size accounting.
+
+The highly dynamic model inherits the CONGEST bandwidth restriction: a node
+may send ``O(log n)`` bits over each incident edge per round.  To make that
+restriction meaningful in a simulation, every message class implements
+:meth:`BaseMessage.size_bits`, which charges ``ceil(log2 n)`` bits per node
+identifier it carries plus a small constant for marks and flags.  The
+:mod:`repro.simulator.bandwidth` module compares these sizes against the
+per-link budget.
+
+All the algorithms of the paper can be expressed with a handful of message
+shapes, which are defined here and shared across the core library:
+
+* :class:`EdgeEventMessage` -- an edge together with an insert/delete mark and
+  a temporal-pattern mark (pattern *(a)* or *(b)* of Figure 2).  Used by the
+  robust 2-hop neighborhood (Theorem 7), triangle membership listing
+  (Theorem 1) and the Lemma 1 baseline.
+* :class:`PathInsertMessage` -- a short path (1--3 edges) announcing a newly
+  learned edge along that path.  Used by the robust 3-hop neighborhood
+  (Theorem 6).
+* :class:`EdgeDeleteHopMessage` -- an edge deletion with a constant-size hop
+  counter.  Used by the robust 3-hop neighborhood.
+* :class:`SnapshotChunkMessage` -- a Theta(log n)-bit chunk of an ``n``-bit
+  neighborhood bitmap.  Used by the Lemma 1 two-hop listing baseline.
+* :class:`Envelope` -- the single per-link per-round transmission unit: an
+  optional payload plus the ``IsEmpty`` / ``AreNeighborsEmpty`` control bits
+  that the paper's algorithms piggyback on every message.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Tuple
+
+from .events import Edge
+
+__all__ = [
+    "id_bits",
+    "EdgeOp",
+    "PatternMark",
+    "BaseMessage",
+    "EdgeEventMessage",
+    "PathInsertMessage",
+    "EdgeDeleteHopMessage",
+    "SnapshotChunkMessage",
+    "Envelope",
+]
+
+
+def id_bits(n: int) -> int:
+    """Number of bits charged for one node identifier in an ``n``-node network."""
+    return max(1, math.ceil(math.log2(max(2, n))))
+
+
+class EdgeOp(Enum):
+    """Insert/delete mark attached to edge event messages."""
+
+    INSERT = "insert"
+    DELETE = "delete"
+
+
+class PatternMark(Enum):
+    """Temporal-pattern mark of Figure 2 in the paper.
+
+    Pattern ``A`` tags ordinary robust-2-hop announcements (the far edge is
+    not older than the edge towards the announcer); pattern ``B`` tags the
+    triangle-completion hints of Theorem 1 (the far edge is older than both
+    incident edges).
+    """
+
+    A = "a"
+    B = "b"
+
+
+class BaseMessage:
+    """Base class for all messages; subclasses must report their bit size."""
+
+    def size_bits(self, n: int) -> int:
+        """Size of this message in bits, for an ``n``-node network."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class EdgeEventMessage(BaseMessage):
+    """An edge announcement: ``edge`` plus insert/delete and pattern marks.
+
+    This is the message of the Theorem 7 / Theorem 1 algorithms: two node
+    identifiers, one insert/delete bit and one pattern bit.  No timestamps are
+    ever transmitted -- the receiver derives *imaginary* timestamps from the
+    insertion times of its own incident edges, exactly as in the paper.
+    """
+
+    edge: Edge
+    op: EdgeOp
+    pattern: PatternMark = PatternMark.A
+
+    def size_bits(self, n: int) -> int:
+        return 2 * id_bits(n) + 2
+
+
+@dataclass(frozen=True)
+class PathInsertMessage(BaseMessage):
+    """A newly learned path, announced towards nodes one hop further away.
+
+    ``path`` is a tuple of node identifiers; consecutive entries are edges.
+    The robust 3-hop algorithm only ever sends paths of one or two edges
+    (receivers extend them by one hop), so the message stays within
+    ``O(log n)`` bits.
+    """
+
+    path: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.path) < 2:
+            raise ValueError("a path message needs at least one edge")
+        for a, b in zip(self.path, self.path[1:]):
+            if a == b:
+                raise ValueError(f"degenerate path {self.path}")
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.path) - 1
+
+    def size_bits(self, n: int) -> int:
+        return len(self.path) * id_bits(n) + 1
+
+
+@dataclass(frozen=True)
+class EdgeDeleteHopMessage(BaseMessage):
+    """An edge deletion propagated with a constant-size hop counter.
+
+    ``hops`` is the ``O(1)``-bit number the Theorem 6 algorithm attaches to
+    deletion items so that deletions are forwarded only a constant number of
+    hops.
+    """
+
+    edge: Edge
+    hops: int
+
+    def __post_init__(self) -> None:
+        if self.hops < 0 or self.hops > 3:
+            raise ValueError("hop counter must fit in O(1) bits (0..3)")
+
+    def size_bits(self, n: int) -> int:
+        return 2 * id_bits(n) + 3
+
+
+@dataclass(frozen=True)
+class SnapshotChunkMessage(BaseMessage):
+    """One Theta(log n)-bit chunk of an ``n``-bit neighborhood bitmap.
+
+    The Lemma 1 baseline sends a full neighborhood snapshot -- an ``n``-bit
+    string -- split into ``ceil(n / chunk_bits)`` chunks, each of which fits
+    the per-round bandwidth budget.  ``owner`` is the node whose neighborhood
+    the snapshot describes, ``epoch`` identifies the snapshot so that stale
+    chunks can be discarded.
+    """
+
+    owner: int
+    epoch: int
+    chunk_index: int
+    total_chunks: int
+    members: Tuple[int, ...]
+    chunk_bits: int
+
+    def size_bits(self, n: int) -> int:
+        # The chunk itself plus the owner identifier and chunk bookkeeping
+        # (index / total, each O(log n) because there are O(n / log n) chunks).
+        return self.chunk_bits + 3 * id_bits(n)
+
+
+@dataclass(frozen=True)
+class Envelope(BaseMessage):
+    """The single per-link per-round transmission unit.
+
+    The paper's algorithms attach, to every message, a Boolean ``IsEmpty``
+    indication of whether the sender's queue is empty, and (for the robust
+    3-hop structure) an ``AreNeighborsEmpty`` indication about the sender's
+    neighbors' queues in the previous round.  In the paper the *true* value is
+    signalled by silence; here the simulator models an explicit envelope but
+    charges zero bits for ``True`` flags and one bit for ``False`` flags so the
+    accounting matches.
+
+    Attributes:
+        payload: the carried message, if any.
+        is_empty: the sender's queue was empty at the start of the round.
+        are_neighbors_empty: all of the sender's neighbors reported empty
+            queues in the previous round (``None`` for algorithms that do not
+            use this indication).
+    """
+
+    payload: Optional[BaseMessage] = None
+    is_empty: bool = True
+    are_neighbors_empty: Optional[bool] = None
+
+    def size_bits(self, n: int) -> int:
+        bits = 0 if self.payload is None else self.payload.size_bits(n)
+        if not self.is_empty:
+            bits += 1
+        if self.are_neighbors_empty is False:
+            bits += 1
+        return bits
+
+    @property
+    def is_silent(self) -> bool:
+        """Whether the envelope carries no information (nothing is sent)."""
+        return (
+            self.payload is None
+            and self.is_empty
+            and self.are_neighbors_empty in (None, True)
+        )

@@ -1,0 +1,113 @@
+"""The node-algorithm interface of the highly dynamic model.
+
+A distributed dynamic data structure is split among the nodes: node ``v``
+holds a part ``DS_v`` which it updates in reaction to the topology indications
+it receives and the messages of its neighbors, and which must answer queries
+*without any communication* -- either correctly or by declaring itself
+inconsistent.
+
+:class:`NodeAlgorithm` captures exactly the per-round hooks of Figure 1 of the
+paper:
+
+1. ``on_topology_change`` -- the node is notified of insertions/deletions of
+   its incident edges (beginning of the round).
+2. ``compose_messages`` -- the *react & send* half-round: the node may send
+   one :class:`~repro.simulator.messages.Envelope` to each current neighbor.
+3. ``on_messages`` -- the *receive & update* half-round.
+4. ``query`` / ``is_consistent`` -- the end-of-round query window, evaluated
+   purely on local state.
+
+Implementations live in :mod:`repro.core`; the simulator only relies on this
+interface.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Dict, Mapping, Sequence
+
+from .messages import Envelope
+
+__all__ = ["NodeAlgorithm", "AlgorithmFactory"]
+
+
+class NodeAlgorithm(ABC):
+    """Abstract base class for the per-node part of a distributed dynamic DS.
+
+    Attributes:
+        node_id: identifier of this node (``0 .. n-1``).
+        n: total number of nodes in the network (known to all nodes, as usual
+            in the CONGEST model).
+    """
+
+    def __init__(self, node_id: int, n: int) -> None:
+        self.node_id = node_id
+        self.n = n
+
+    # ------------------------------------------------------------------ #
+    # Round hooks (called by the round engine)
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def on_topology_change(
+        self, round_index: int, inserted: Sequence[int], deleted: Sequence[int]
+    ) -> None:
+        """React to this round's indications about incident edges.
+
+        Args:
+            round_index: index of the current round ``i``.
+            inserted: neighbors gained at the beginning of round ``i``.
+            deleted: neighbors lost at the beginning of round ``i``.
+
+        Called exactly once per round for every node, possibly with empty
+        sequences if the node was not touched by any change.
+        """
+
+    @abstractmethod
+    def compose_messages(self, round_index: int) -> Dict[int, Envelope]:
+        """Produce the envelopes to send this round, keyed by neighbor id.
+
+        The engine delivers an envelope only if the target is a *current*
+        neighbor (an edge of ``G_i``); addressing a non-neighbor is a
+        programming error and the engine rejects it.  Returning an empty dict
+        (or omitting a neighbor) is interpreted by that neighbor as a silent
+        envelope, i.e. ``IsEmpty = true``.
+        """
+
+    @abstractmethod
+    def on_messages(self, round_index: int, received: Mapping[int, Envelope]) -> None:
+        """Process the envelopes received from neighbors this round.
+
+        ``received`` contains an entry for every *current* neighbor that sent
+        a non-silent envelope.  Silence from a neighbor must be interpreted as
+        ``IsEmpty = true`` per the paper's convention; implementations that
+        need to notice silence explicitly should combine this mapping with
+        their own adjacency knowledge.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Query window (no communication allowed)
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def is_consistent(self) -> bool:
+        """Whether the local data structure currently declares itself consistent."""
+
+    @abstractmethod
+    def query(self, query: Any) -> Any:
+        """Answer a query from local state only.
+
+        The concrete query and answer types are defined by each problem in
+        :mod:`repro.core.queries`.  Implementations must not access any other
+        node or the network.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Optional introspection
+    # ------------------------------------------------------------------ #
+    def local_state_size(self) -> int:
+        """A rough count of items held locally (for memory profiling)."""
+        return 0
+
+
+#: A factory building the algorithm instance for one node.  The runner calls
+#: ``factory(node_id, n)`` once per node before the simulation starts.
+AlgorithmFactory = Callable[[int, int], NodeAlgorithm]

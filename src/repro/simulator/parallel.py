@@ -1,0 +1,261 @@
+"""Process-parallel execution of the round engine for large simulations.
+
+The per-node phases of a round (react & send, receive & update) are
+embarrassingly parallel: every node only touches its own local state and the
+messages addressed to it.  For simulations with many nodes the
+:class:`ShardedRoundEngine` partitions the nodes into shards, each owned by a
+persistent worker process, and exchanges only the per-round message batches
+with the coordinator -- the same communicate-by-message idiom used in
+MPI-style programs (each worker behaves like a rank that scatters/gathers one
+batch per superstep).
+
+The sharded engine is a drop-in behavioural mirror of
+:class:`repro.simulator.rounds.RoundEngine`: given the same adversary schedule
+it produces identical metrics, because all cross-node interaction still flows
+through the coordinator's ground-truth network and bandwidth policy.  It is
+*not* always faster -- for small ``n`` the pickling overhead dominates -- but
+it lets the simulator scale past a single core for wide fan-out workloads, and
+benchmark E12 measures exactly that trade-off.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .bandwidth import BandwidthPolicy
+from .events import RoundChanges
+from .messages import Envelope
+from .metrics import MetricsCollector, RoundRecord
+from .network import DynamicNetwork, NodeIndication
+from .node import AlgorithmFactory
+from .rounds import MessageTargetError
+
+__all__ = ["ShardedRoundEngine", "shard_nodes"]
+
+
+def shard_nodes(n: int, num_shards: int) -> List[List[int]]:
+    """Partition node ids ``0..n-1`` into ``num_shards`` balanced contiguous shards."""
+    if num_shards <= 0:
+        raise ValueError("num_shards must be positive")
+    num_shards = min(num_shards, n)
+    shards: List[List[int]] = []
+    base = n // num_shards
+    extra = n % num_shards
+    start = 0
+    for s in range(num_shards):
+        size = base + (1 if s < extra else 0)
+        shards.append(list(range(start, start + size)))
+        start += size
+    return shards
+
+
+def _worker_loop(
+    conn: Any,
+    shard: Sequence[int],
+    n: int,
+    factory: AlgorithmFactory,
+) -> None:
+    """Entry point of a shard worker process.
+
+    The worker owns the node-algorithm instances of its shard and executes the
+    per-node phases on command.  Commands arrive as ``(op, payload)`` tuples on
+    the pipe; results are sent back the same way.
+    """
+    nodes = {v: factory(v, n) for v in shard}
+    while True:
+        op, payload = conn.recv()
+        if op == "stop":
+            conn.send(("ok", None))
+            conn.close()
+            return
+        if op == "react":
+            round_index, indications = payload
+            outgoing: Dict[int, Dict[int, Envelope]] = {}
+            for v, algo in nodes.items():
+                inserted, deleted = indications.get(v, ((), ()))
+                algo.on_topology_change(round_index, inserted, deleted)
+            for v, algo in nodes.items():
+                out = algo.compose_messages(round_index)
+                if out:
+                    outgoing[v] = out
+            conn.send(("ok", outgoing))
+        elif op == "update":
+            round_index, inboxes = payload
+            for v, algo in nodes.items():
+                algo.on_messages(round_index, inboxes.get(v, {}))
+            consistency = {v: algo.is_consistent() for v, algo in nodes.items()}
+            conn.send(("ok", consistency))
+        elif op == "query":
+            node_id, query = payload
+            conn.send(("ok", nodes[node_id].query(query)))
+        elif op == "state_size":
+            conn.send(("ok", {v: algo.local_state_size() for v, algo in nodes.items()}))
+        else:  # pragma: no cover - defensive
+            conn.send(("error", f"unknown op {op!r}"))
+
+
+class ShardedRoundEngine:
+    """A round engine whose node phases run in persistent worker processes.
+
+    Args:
+        n: number of nodes.
+        algorithm_factory: per-node algorithm factory (must be picklable or
+            importable in the workers; with the default ``fork`` start method
+            any callable works).
+        num_workers: number of shard processes (defaults to CPU count).
+        bandwidth: per-link bandwidth policy (kept in the coordinator).
+        metrics: metrics collector (kept in the coordinator).
+        start_method: multiprocessing start method; ``fork`` keeps closures
+            usable as factories and is the default on Linux.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        algorithm_factory: AlgorithmFactory,
+        *,
+        num_workers: Optional[int] = None,
+        bandwidth: Optional[BandwidthPolicy] = None,
+        metrics: Optional[MetricsCollector] = None,
+        start_method: str = "fork",
+    ) -> None:
+        self.network = DynamicNetwork(n)
+        self.bandwidth = bandwidth if bandwidth is not None else BandwidthPolicy()
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        workers = num_workers if num_workers is not None else max(1, (os.cpu_count() or 2) - 1)
+        self._shards = shard_nodes(n, workers)
+        self._node_to_shard: Dict[int, int] = {}
+        for idx, shard in enumerate(self._shards):
+            for v in shard:
+                self._node_to_shard[v] = idx
+        ctx = mp.get_context(start_method)
+        self._conns = []
+        self._procs = []
+        for shard in self._shards:
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_loop,
+                args=(child_conn, shard, n, algorithm_factory),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+        self._last_inconsistent: List[int] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Round execution
+    # ------------------------------------------------------------------ #
+    def execute_round(self, changes: RoundChanges) -> RoundRecord:
+        """Run one round; mirrors :meth:`RoundEngine.execute_round`."""
+        if self._closed:
+            raise RuntimeError("engine already shut down")
+        round_index = self.network.round_index + 1
+        n = self.network.n
+        indications = self.network.apply_changes(round_index, changes)
+
+        # React & send, per shard.
+        per_shard_indications: List[Dict[int, Tuple[tuple, tuple]]] = [
+            {} for _ in self._shards
+        ]
+        for v, ind in indications.items():
+            per_shard_indications[self._node_to_shard[v]][v] = (ind.inserted, ind.deleted)
+        for conn, shard_ind in zip(self._conns, per_shard_indications):
+            conn.send(("react", (round_index, shard_ind)))
+        outgoing_all: Dict[int, Dict[int, Envelope]] = {}
+        for conn in self._conns:
+            status, outgoing = conn.recv()
+            if status != "ok":  # pragma: no cover - defensive
+                raise RuntimeError(outgoing)
+            outgoing_all.update(outgoing)
+
+        # Route messages through the coordinator (validation + bandwidth).
+        inboxes: Dict[int, Dict[int, Envelope]] = {}
+        num_envelopes = 0
+        bits_sent = 0
+        for sender, out in outgoing_all.items():
+            for target, envelope in out.items():
+                if target == sender:
+                    raise MessageTargetError(f"node {sender} attempted to message itself")
+                if not self.network.has_edge(sender, target):
+                    raise MessageTargetError(
+                        f"round {round_index}: node {sender} addressed non-neighbor {target}"
+                    )
+                size = self.bandwidth.charge(round_index, sender, target, envelope, n)
+                if not envelope.is_silent:
+                    num_envelopes += 1
+                    bits_sent += size
+                    inboxes.setdefault(target, {})[sender] = envelope
+
+        # Receive & update, per shard.
+        per_shard_inboxes: List[Dict[int, Dict[int, Envelope]]] = [{} for _ in self._shards]
+        for v, inbox in inboxes.items():
+            per_shard_inboxes[self._node_to_shard[v]][v] = inbox
+        for conn, shard_in in zip(self._conns, per_shard_inboxes):
+            conn.send(("update", (round_index, shard_in)))
+        inconsistent: List[int] = []
+        for conn in self._conns:
+            status, consistency = conn.recv()
+            if status != "ok":  # pragma: no cover - defensive
+                raise RuntimeError(consistency)
+            inconsistent.extend(v for v, ok in consistency.items() if not ok)
+
+        self._last_inconsistent = sorted(inconsistent)
+        return self.metrics.record_round(
+            round_index=round_index,
+            num_changes=len(changes),
+            inconsistent_nodes=self._last_inconsistent,
+            num_envelopes=num_envelopes,
+            bits_sent=bits_sent,
+        )
+
+    def execute_quiet_round(self) -> RoundRecord:
+        """Run one round with no topology changes."""
+        return self.execute_round(RoundChanges.empty())
+
+    # ------------------------------------------------------------------ #
+    # Queries and lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def all_consistent(self) -> bool:
+        return not self._last_inconsistent
+
+    @property
+    def inconsistent_nodes(self) -> List[int]:
+        return list(self._last_inconsistent)
+
+    def query(self, node_id: int, query: Any) -> Any:
+        """Forward a query to the worker owning ``node_id`` and return its answer."""
+        conn = self._conns[self._node_to_shard[node_id]]
+        conn.send(("query", (node_id, query)))
+        status, answer = conn.recv()
+        if status != "ok":  # pragma: no cover - defensive
+            raise RuntimeError(answer)
+        return answer
+
+    def shutdown(self) -> None:
+        """Terminate the worker processes."""
+        if self._closed:
+            return
+        for conn in self._conns:
+            try:
+                conn.send(("stop", None))
+                conn.recv()
+                conn.close()
+            except (BrokenPipeError, EOFError):  # pragma: no cover - defensive
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+        self._closed = True
+
+    def __enter__(self) -> "ShardedRoundEngine":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown()

@@ -1,0 +1,160 @@
+"""The synchronous round engine (Figure 1 of the paper).
+
+One round of the highly dynamic model proceeds in four stages:
+
+1. **Topology changes.**  The adversary's batch is applied to the ground-truth
+   graph and every touched node receives a local indication of the changes it
+   is part of.
+2. **React & send.**  Every node updates its local data structure in reaction
+   to the indications and hands the engine at most one envelope per incident
+   link.
+3. **Receive & update.**  Envelopes are delivered along the edges of the
+   *current* graph ``G_i`` and every node updates its data structure with what
+   it received.
+4. **Query window.**  At the end of the round the data structures may be
+   queried; the engine records which nodes declare themselves inconsistent,
+   which is the quantity the amortized round complexity charges.
+
+The engine is deterministic: given the same adversary schedule and algorithm,
+every run produces identical state, which the test-suite and the trace
+record/replay facility rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from .bandwidth import BandwidthPolicy
+from .events import RoundChanges
+from .messages import Envelope
+from .metrics import MetricsCollector, RoundRecord
+from .network import DynamicNetwork, NodeIndication
+from .node import NodeAlgorithm
+
+__all__ = ["RoundEngine", "MessageTargetError"]
+
+
+class MessageTargetError(RuntimeError):
+    """A node attempted to send an envelope to a non-neighbor.
+
+    In the model a node can only communicate over its currently incident
+    edges; addressing anyone else indicates a bug in the algorithm, so the
+    engine fails loudly rather than silently dropping the message.
+    """
+
+
+class RoundEngine:
+    """Executes rounds of the highly dynamic model over a set of node algorithms.
+
+    Args:
+        network: the ground-truth dynamic graph.
+        nodes: mapping from node id to its :class:`NodeAlgorithm` instance;
+            must contain every node of the network.
+        bandwidth: the per-link bandwidth policy.
+        metrics: collector that accumulates the amortized-complexity measures.
+    """
+
+    def __init__(
+        self,
+        network: DynamicNetwork,
+        nodes: Mapping[int, NodeAlgorithm],
+        bandwidth: Optional[BandwidthPolicy] = None,
+        metrics: Optional[MetricsCollector] = None,
+    ) -> None:
+        if set(nodes.keys()) != set(network.nodes):
+            raise ValueError("nodes mapping must cover exactly the network's nodes")
+        self.network = network
+        self.nodes: Dict[int, NodeAlgorithm] = dict(nodes)
+        self.bandwidth = bandwidth if bandwidth is not None else BandwidthPolicy()
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self._last_inconsistent: List[int] = []
+
+    # ------------------------------------------------------------------ #
+    # Round execution
+    # ------------------------------------------------------------------ #
+    def execute_round(self, changes: RoundChanges) -> RoundRecord:
+        """Run one full round with the given topology-change batch.
+
+        Returns the :class:`~repro.simulator.metrics.RoundRecord` of the round.
+        """
+        round_index = self.network.round_index + 1
+        n = self.network.n
+
+        # Stage 1: topology changes and local indications.
+        indications = self.network.apply_changes(round_index, changes)
+
+        # Stage 2: react & send.
+        inboxes: Dict[int, Dict[int, Envelope]] = {v: {} for v in self.network.nodes}
+        num_envelopes = 0
+        bits_sent = 0
+        for v, algo in self.nodes.items():
+            ind = indications.get(v, NodeIndication.empty())
+            algo.on_topology_change(round_index, ind.inserted, ind.deleted)
+
+        for v, algo in self.nodes.items():
+            outgoing = algo.compose_messages(round_index)
+            for target, envelope in outgoing.items():
+                if target == v:
+                    raise MessageTargetError(f"node {v} attempted to message itself")
+                if not self.network.has_edge(v, target):
+                    raise MessageTargetError(
+                        f"round {round_index}: node {v} addressed non-neighbor {target}"
+                    )
+                size = self.bandwidth.charge(round_index, v, target, envelope, n)
+                if not envelope.is_silent:
+                    num_envelopes += 1
+                    bits_sent += size
+                    inboxes[target][v] = envelope
+
+        # Stage 3: receive & update.
+        for v, algo in self.nodes.items():
+            algo.on_messages(round_index, inboxes[v])
+
+        # Stage 4: query window -- record consistency.
+        inconsistent = [v for v, algo in self.nodes.items() if not algo.is_consistent()]
+        self._last_inconsistent = inconsistent
+        return self.metrics.record_round(
+            round_index=round_index,
+            num_changes=len(changes),
+            inconsistent_nodes=inconsistent,
+            num_envelopes=num_envelopes,
+            bits_sent=bits_sent,
+        )
+
+    def execute_quiet_round(self) -> RoundRecord:
+        """Run one round with no topology changes."""
+        return self.execute_round(RoundChanges.empty())
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def all_consistent(self) -> bool:
+        """Whether every node declared itself consistent at the end of the last round."""
+        return not self._last_inconsistent
+
+    @property
+    def inconsistent_nodes(self) -> List[int]:
+        """Nodes inconsistent at the end of the last executed round."""
+        return list(self._last_inconsistent)
+
+    def run_until_quiet(self, max_rounds: int = 10_000) -> int:
+        """Execute quiet rounds until all nodes are consistent.
+
+        Returns the number of quiet rounds executed.  Raises ``RuntimeError``
+        if consistency is not reached within ``max_rounds`` (which would
+        indicate a livelock in the algorithm under test).
+        """
+        executed = 0
+        # The consistency state refers to the end of the last executed round;
+        # if no round ran yet, everything is vacuously consistent.
+        if not self.metrics.rounds:
+            return 0
+        while not self.all_consistent:
+            if executed >= max_rounds:
+                raise RuntimeError(
+                    f"nodes still inconsistent after {max_rounds} quiet rounds"
+                )
+            self.execute_quiet_round()
+            executed += 1
+        return executed

@@ -1,0 +1,194 @@
+"""High-level orchestration of a full simulation.
+
+:class:`SimulationRunner` wires together the four ingredients of an
+experiment -- a network size, an algorithm factory, an adversary and a
+bandwidth policy -- runs the round loop, and returns a
+:class:`SimulationResult` containing the metrics the paper's theorems bound.
+Optional per-round validators (used heavily by the test-suite) allow checking
+algorithm answers against the centralized oracle after every round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
+
+from .adversary import Adversary, AdversaryView
+from .bandwidth import BandwidthPolicy
+from .events import RoundChanges
+from .metrics import MetricsCollector
+from .network import DynamicNetwork
+from .node import AlgorithmFactory, NodeAlgorithm
+from .rounds import RoundEngine
+from .trace import TopologyTrace, TraceRecordingAdversary
+
+__all__ = ["RoundValidator", "SimulationResult", "SimulationRunner"]
+
+#: A per-round validation hook: ``validator(round_index, network, nodes)``.
+#: Validators are called after the query window of every round and should
+#: raise (e.g. ``AssertionError``) when the algorithm misbehaves.
+RoundValidator = Callable[[int, DynamicNetwork, Mapping[int, NodeAlgorithm]], None]
+
+
+@dataclass
+class SimulationResult:
+    """Everything a finished simulation exposes for analysis.
+
+    Attributes:
+        metrics: the amortized-complexity accounting.
+        network: the final ground-truth graph.
+        nodes: the node algorithm instances (their final local state).
+        bandwidth: the bandwidth policy with its accumulated statistics.
+        trace: the realized topology trace, if recording was requested.
+    """
+
+    metrics: MetricsCollector
+    network: DynamicNetwork
+    nodes: Dict[int, NodeAlgorithm]
+    bandwidth: BandwidthPolicy
+    trace: Optional[TopologyTrace] = None
+
+    @property
+    def amortized_round_complexity(self) -> float:
+        """Shortcut for the headline measure of the paper."""
+        return self.metrics.amortized_round_complexity()
+
+    def summary(self) -> Dict[str, float]:
+        """Merged metrics and bandwidth summary."""
+        out = dict(self.metrics.summary())
+        for key, value in self.bandwidth.summary(self.network.n).items():
+            out[f"bandwidth_{key}"] = float(value)
+        return out
+
+
+class SimulationRunner:
+    """Builds and drives a complete highly-dynamic-network simulation.
+
+    Args:
+        n: number of nodes.
+        algorithm_factory: callable building the per-node algorithm,
+            ``factory(node_id, n)``.
+        adversary: the topology-change schedule.
+        bandwidth_factor: hidden constant of the ``O(log n)`` per-link budget.
+        strict_bandwidth: whether exceeding the budget raises (default) or is
+            merely recorded (for intentionally wasteful baselines).
+        record_trace: whether to record the realized schedule for replay.
+        validators: per-round validation hooks.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        algorithm_factory: AlgorithmFactory,
+        adversary: Adversary,
+        *,
+        bandwidth_factor: int = 8,
+        strict_bandwidth: bool = True,
+        record_trace: bool = False,
+        validators: Optional[List[RoundValidator]] = None,
+    ) -> None:
+        self.n = n
+        self.network = DynamicNetwork(n)
+        self.nodes: Dict[int, NodeAlgorithm] = {
+            v: algorithm_factory(v, n) for v in range(n)
+        }
+        self.bandwidth = BandwidthPolicy(factor=bandwidth_factor, strict=strict_bandwidth)
+        self.metrics = MetricsCollector()
+        self.engine = RoundEngine(self.network, self.nodes, self.bandwidth, self.metrics)
+        self._validators: List[RoundValidator] = list(validators or [])
+        if record_trace:
+            self.adversary: Adversary = TraceRecordingAdversary(adversary, n)
+        else:
+            self.adversary = adversary
+
+    # ------------------------------------------------------------------ #
+    # Configuration
+    # ------------------------------------------------------------------ #
+    def add_validator(self, validator: RoundValidator) -> None:
+        """Register an additional per-round validation hook."""
+        self._validators.append(validator)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        num_rounds: Optional[int] = None,
+        *,
+        drain: bool = True,
+        max_drain_rounds: int = 10_000,
+    ) -> SimulationResult:
+        """Run the simulation.
+
+        Args:
+            num_rounds: maximum number of adversary-driven rounds to execute.
+                ``None`` means "until the adversary reports it is done" (only
+                valid for finite-schedule adversaries).
+            drain: after the adversary finishes (or ``num_rounds`` is
+                reached), keep executing quiet rounds until every node is
+                consistent.  This matches the paper's long-lived-network view
+                in which the environment eventually gives the algorithm time
+                to catch up, and makes end-of-run query checks meaningful.
+            max_drain_rounds: safety bound on the drain phase.
+
+        Returns:
+            The :class:`SimulationResult`.
+        """
+        if num_rounds is None and not hasattr(self.adversary, "is_done"):
+            raise ValueError("num_rounds is required for open-ended adversaries")
+
+        executed = 0
+        while True:
+            if num_rounds is not None and executed >= num_rounds:
+                break
+            if self.adversary.is_done:
+                break
+            view = AdversaryView.from_network(
+                self.network,
+                round_index=self.network.round_index + 1,
+                all_consistent=self.engine.all_consistent,
+            )
+            changes = self.adversary.changes_for_round(view)
+            if changes is None:
+                break
+            self.engine.execute_round(changes)
+            executed += 1
+            self._run_validators()
+
+        if drain:
+            drained = 0
+            while not self.engine.all_consistent:
+                if drained >= max_drain_rounds:
+                    raise RuntimeError(
+                        f"nodes still inconsistent after {max_drain_rounds} drain rounds"
+                    )
+                self.engine.execute_quiet_round()
+                drained += 1
+                self._run_validators()
+
+        trace = None
+        if isinstance(self.adversary, TraceRecordingAdversary):
+            trace = self.adversary.trace
+        return SimulationResult(
+            metrics=self.metrics,
+            network=self.network,
+            nodes=self.nodes,
+            bandwidth=self.bandwidth,
+            trace=trace,
+        )
+
+    def step(self, changes: RoundChanges) -> None:
+        """Execute a single externally supplied round (bypassing the adversary).
+
+        Useful for interactive exploration and for tests that drive the
+        engine directly.
+        """
+        self.engine.execute_round(changes)
+        self._run_validators()
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers
+    # ------------------------------------------------------------------ #
+    def _run_validators(self) -> None:
+        for validator in self._validators:
+            validator(self.network.round_index, self.network, self.nodes)

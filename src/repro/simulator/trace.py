@@ -1,0 +1,128 @@
+"""Recording and replaying topology-change traces.
+
+Every experiment in the benchmark harness is driven by an adversary; for
+reproducibility (and to compare two algorithms on *exactly* the same dynamic
+graph) the simulator can record the realized schedule as a
+:class:`TopologyTrace` and replay it later.  Traces serialise to plain JSON so
+they can be stored next to benchmark results.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .adversary import Adversary, AdversaryView
+from .events import RoundChanges
+
+__all__ = ["TopologyTrace", "TraceRecordingAdversary", "TraceReplayAdversary"]
+
+
+@dataclass
+class TopologyTrace:
+    """A realized topology-change schedule.
+
+    Attributes:
+        n: number of nodes the trace was produced for.
+        rounds: one entry per round, each a pair
+            ``(inserted_edges, deleted_edges)``.
+    """
+
+    n: int
+    rounds: List[Tuple[List[Tuple[int, int]], List[Tuple[int, int]]]] = field(
+        default_factory=list
+    )
+
+    def append(self, changes: RoundChanges) -> None:
+        """Record one round's batch."""
+        self.rounds.append(
+            (
+                [tuple(e) for e in changes.insertions],
+                [tuple(e) for e in changes.deletions],
+            )
+        )
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def total_changes(self) -> int:
+        return sum(len(ins) + len(dels) for ins, dels in self.rounds)
+
+    def changes_for(self, index: int) -> RoundChanges:
+        """The batch recorded for the ``index``-th round (0-based)."""
+        ins, dels = self.rounds[index]
+        return RoundChanges.of(insert=ins, delete=dels)
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict:
+        return {
+            "n": self.n,
+            "rounds": [
+                {"insert": [list(e) for e in ins], "delete": [list(e) for e in dels]}
+                for ins, dels in self.rounds
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TopologyTrace":
+        trace = cls(n=int(data["n"]))
+        for entry in data["rounds"]:
+            trace.rounds.append(
+                (
+                    [tuple(int(x) for x in e) for e in entry["insert"]],
+                    [tuple(int(x) for x in e) for e in entry["delete"]],
+                )
+            )
+        return trace
+
+    def save(self, path: str | Path) -> None:
+        """Write the trace as JSON."""
+        Path(path).write_text(json.dumps(self.to_dict()))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TopologyTrace":
+        """Read a trace previously written by :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+class TraceRecordingAdversary(Adversary):
+    """Wraps another adversary and records the schedule it actually produced."""
+
+    def __init__(self, inner: Adversary, n: int) -> None:
+        self.inner = inner
+        self.trace = TopologyTrace(n=n)
+
+    def changes_for_round(self, view: AdversaryView) -> Optional[RoundChanges]:
+        changes = self.inner.changes_for_round(view)
+        if changes is not None:
+            self.trace.append(changes)
+        return changes
+
+    @property
+    def is_done(self) -> bool:
+        return self.inner.is_done
+
+
+class TraceReplayAdversary(Adversary):
+    """Replays a previously recorded :class:`TopologyTrace` round by round."""
+
+    def __init__(self, trace: TopologyTrace) -> None:
+        self.trace = trace
+        self._cursor = 0
+
+    def changes_for_round(self, view: AdversaryView) -> Optional[RoundChanges]:
+        if self._cursor >= self.trace.num_rounds:
+            return None
+        changes = self.trace.changes_for(self._cursor)
+        self._cursor += 1
+        return changes
+
+    @property
+    def is_done(self) -> bool:
+        return self._cursor >= self.trace.num_rounds

@@ -1,0 +1,15 @@
+"""Canned dynamic workloads (planted subgraphs, growth, flip-flop stress tests)."""
+
+from .generators import (
+    flip_flop_edges,
+    growing_random_graph,
+    planted_clique_churn,
+    planted_cycle_churn,
+)
+
+__all__ = [
+    "flip_flop_edges",
+    "growing_random_graph",
+    "planted_clique_churn",
+    "planted_cycle_churn",
+]

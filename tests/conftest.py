@@ -1,0 +1,64 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import pytest
+
+from repro.oracle import GroundTruthOracle
+from repro.simulator import (
+    Adversary,
+    NodeAlgorithm,
+    RoundChanges,
+    SimulationResult,
+    SimulationRunner,
+)
+
+__all__ = ["run_simulation", "run_schedule"]
+
+
+def run_simulation(
+    algorithm_factory: Callable[[int, int], NodeAlgorithm],
+    adversary: Adversary,
+    n: int,
+    *,
+    bandwidth_factor: int = 8,
+    strict_bandwidth: bool = True,
+    drain: bool = True,
+    num_rounds: Optional[int] = None,
+    validators: Optional[list] = None,
+    with_oracle: bool = True,
+) -> Tuple[SimulationResult, Optional[GroundTruthOracle]]:
+    """Run a full simulation, optionally recording a ground-truth oracle."""
+    oracle = GroundTruthOracle(n) if with_oracle else None
+    runner = SimulationRunner(
+        n=n,
+        algorithm_factory=algorithm_factory,
+        adversary=adversary,
+        bandwidth_factor=bandwidth_factor,
+        strict_bandwidth=strict_bandwidth,
+        validators=list(validators or []),
+    )
+    if oracle is not None:
+        runner.add_validator(oracle.validator())
+    result = runner.run(num_rounds=num_rounds, drain=drain)
+    return result, oracle
+
+
+def run_schedule(
+    algorithm_factory: Callable[[int, int], NodeAlgorithm],
+    rounds: List,
+    n: int,
+    **kwargs,
+) -> Tuple[SimulationResult, Optional[GroundTruthOracle]]:
+    """Run an explicit per-round schedule (see :class:`ScriptedAdversary`)."""
+    from repro.adversary import ScriptedAdversary
+
+    return run_simulation(algorithm_factory, ScriptedAdversary(rounds), n, **kwargs)
+
+
+@pytest.fixture
+def small_n() -> int:
+    """A small network size used by most unit tests."""
+    return 12

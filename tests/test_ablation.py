@@ -1,0 +1,71 @@
+"""Tests for the ablated (hint-free) triangle structure.
+
+The ablation isolates the contribution of the mark-(b) hint mechanism: without
+it, the structure maintains exactly the robust 2-hop neighborhood and
+therefore misses triangles whose far edge is older than both incident edges.
+"""
+
+import itertools
+
+from repro.adversary import RandomChurnAdversary, ScriptedAdversary
+from repro.core import HintFreeTriangleNode, QueryResult, TriangleMembershipNode, TriangleQuery
+from repro.oracle import robust_two_hop, triangles_containing
+
+from conftest import run_schedule, run_simulation
+
+
+class TestHintFreeTriangleNode:
+    def test_misses_triangle_when_far_edge_is_oldest(self):
+        # Far edge (1,2) inserted first: without hints node 0 never learns it.
+        schedule = [([(1, 2)], []), ([(0, 1)], []), ([(0, 2)], [])]
+        result, _ = run_schedule(HintFreeTriangleNode, schedule, n=4)
+        node0 = result.nodes[0]
+        assert node0.is_consistent()
+        assert node0.query(TriangleQuery({0, 1, 2})) is QueryResult.FALSE
+        # The full structure answers correctly on the same schedule.
+        full, _ = run_schedule(TriangleMembershipNode, schedule, n=4)
+        assert full.nodes[0].query(TriangleQuery({0, 1, 2})) is QueryResult.TRUE
+
+    def test_catches_triangle_when_far_edge_is_newest(self):
+        schedule = [([(0, 1)], []), ([(0, 2)], []), ([(1, 2)], [])]
+        result, _ = run_schedule(HintFreeTriangleNode, schedule, n=4)
+        assert result.nodes[0].query(TriangleQuery({0, 1, 2})) is QueryResult.TRUE
+
+    def test_equals_robust_two_hop_knowledge(self):
+        """Without hints the far-edge knowledge collapses to R^{v,2}."""
+        result, _ = run_simulation(
+            HintFreeTriangleNode,
+            RandomChurnAdversary(14, num_rounds=100, inserts_per_round=3, deletes_per_round=2, seed=6),
+            n=14,
+        )
+        network = result.network
+        times = network.insertion_times()
+        for v, node in result.nodes.items():
+            assert node.known_edges() == robust_two_hop(network.edges, times, v)
+
+    def test_recall_gap_over_all_insertion_orders(self):
+        def recall(factory):
+            hits = total = 0
+            for order in itertools.permutations([(0, 1), (0, 2), (1, 2)]):
+                schedule = [([edge], []) for edge in order]
+                result, _ = run_schedule(factory, schedule, n=4)
+                for v in (0, 1, 2):
+                    total += 1
+                    hits += frozenset({0, 1, 2}) in result.nodes[v].known_triangles()
+            return hits / total
+
+        assert recall(TriangleMembershipNode) == 1.0
+        # Each of the 6 orders leaves exactly one vertex opposite the oldest
+        # edge; that vertex misses the triangle without hints: recall 12/18.
+        assert abs(recall(HintFreeTriangleNode) - 12 / 18) < 1e-9
+
+    def test_never_reports_ghost_triangles(self):
+        """The ablation loses completeness, not soundness."""
+        result, _ = run_simulation(
+            HintFreeTriangleNode,
+            RandomChurnAdversary(12, num_rounds=80, inserts_per_round=3, deletes_per_round=2, seed=1),
+            n=12,
+        )
+        network = result.network
+        for v, node in result.nodes.items():
+            assert node.known_triangles() <= triangles_containing(network.edges, v)

@@ -1,0 +1,197 @@
+"""Tests for the adversary / workload generators (validity and structure)."""
+
+import pytest
+
+from repro.adversary import (
+    WAIT_FOR_STABILITY,
+    BatchInsertAdversary,
+    FlickerTriangleAdversary,
+    HeavyTailedChurnAdversary,
+    RandomChurnAdversary,
+    ScheduleAdversary,
+    ScriptedAdversary,
+    flicker_schedule,
+)
+from repro.simulator import DynamicNetwork, RoundChanges
+from repro.simulator.adversary import AdversaryView
+
+
+def drive(adversary, n, max_rounds=10_000, consistent=True):
+    """Apply an adversary's schedule to a bare network and return it.
+
+    This validates that every produced batch is legal for the current graph
+    (the network raises otherwise).
+    """
+    network = DynamicNetwork(n)
+    rounds = 0
+    while not adversary.is_done and rounds < max_rounds:
+        view = AdversaryView.from_network(network, network.round_index + 1, consistent)
+        changes = adversary.changes_for_round(view)
+        if changes is None:
+            break
+        network.apply_changes(network.round_index + 1, changes)
+        rounds += 1
+    return network, rounds
+
+
+class TestScripted:
+    def test_replays_rounds_in_order(self):
+        adversary = ScriptedAdversary([
+            ([(0, 1)], []),
+            None,
+            ([(1, 2)], [(0, 1)]),
+        ])
+        network, rounds = drive(adversary, 4)
+        assert rounds == 3
+        assert network.edges == frozenset({(1, 2)})
+        assert adversary.is_done
+
+    def test_rejects_bad_entry(self):
+        with pytest.raises(TypeError):
+            ScriptedAdversary(["nonsense"])
+
+    def test_one_edge_per_round(self):
+        adversary = ScriptedAdversary.one_edge_per_round([(0, 1), (1, 2)])
+        network, rounds = drive(adversary, 4)
+        assert rounds == 2
+        assert network.num_edges == 2
+
+
+class TestScheduleAdversary:
+    def test_wait_for_stability_blocks_until_consistent(self):
+        def gen():
+            yield RoundChanges.inserts([(0, 1)])
+            yield WAIT_FOR_STABILITY
+            yield RoundChanges.inserts([(1, 2)])
+
+        adversary = ScheduleAdversary(gen())
+        network = DynamicNetwork(4)
+        # Round 1: the insert.
+        view = AdversaryView.from_network(network, 1, True)
+        network.apply_changes(1, adversary.changes_for_round(view))
+        # Round 2: system inconsistent -> quiet round.
+        view = AdversaryView.from_network(network, 2, False)
+        changes = adversary.changes_for_round(view)
+        assert len(changes) == 0
+        # Round 3: still inconsistent -> still waiting.
+        view = AdversaryView.from_network(network, 3, False)
+        assert len(adversary.changes_for_round(view)) == 0
+        # Round 4: consistent -> the next batch is released.
+        view = AdversaryView.from_network(network, 4, True)
+        changes = adversary.changes_for_round(view)
+        assert changes.insertions == [(1, 2)]
+
+    def test_wait_skipped_if_already_stable(self):
+        def gen():
+            yield RoundChanges.inserts([(0, 1)])
+            yield WAIT_FOR_STABILITY
+            yield RoundChanges.inserts([(1, 2)])
+
+        adversary = ScheduleAdversary(gen())
+        network = DynamicNetwork(4)
+        view = AdversaryView.from_network(network, 1, True)
+        network.apply_changes(1, adversary.changes_for_round(view))
+        # Consistent already: the wait sentinel must not burn a round.
+        view = AdversaryView.from_network(network, 2, True)
+        changes = adversary.changes_for_round(view)
+        assert changes.insertions == [(1, 2)]
+
+
+class TestRandomChurn:
+    def test_produces_valid_batches(self):
+        adversary = RandomChurnAdversary(15, num_rounds=120, inserts_per_round=3, deletes_per_round=2, seed=5)
+        network, rounds = drive(adversary, 15)
+        assert rounds == 120
+
+    def test_deterministic_given_seed(self):
+        def realize(seed):
+            adversary = RandomChurnAdversary(10, num_rounds=40, seed=seed)
+            network, _ = drive(adversary, 10)
+            return network.edges
+
+        assert realize(3) == realize(3)
+        assert realize(3) != realize(4)
+
+    def test_warmup_edges(self):
+        adversary = RandomChurnAdversary(12, num_rounds=1, inserts_per_round=0,
+                                         deletes_per_round=0, warmup_edges=10, seed=0)
+        network, _ = drive(adversary, 12)
+        assert network.num_edges == 10
+
+    def test_requires_two_nodes(self):
+        with pytest.raises(ValueError):
+            RandomChurnAdversary(1, num_rounds=1)
+
+
+class TestHeavyTailedChurn:
+    def test_produces_valid_batches(self):
+        adversary = HeavyTailedChurnAdversary(20, num_rounds=150, seed=7)
+        network, rounds = drive(adversary, 20)
+        assert rounds == 150
+
+    def test_sessions_create_and_destroy_edges(self):
+        adversary = HeavyTailedChurnAdversary(20, num_rounds=200, seed=1, offline_probability=0.5)
+        network = DynamicNetwork(20)
+        total_inserts = total_deletes = 0
+        while not adversary.is_done:
+            view = AdversaryView.from_network(network, network.round_index + 1, True)
+            changes = adversary.changes_for_round(view)
+            total_inserts += len(changes.insertions)
+            total_deletes += len(changes.deletions)
+            network.apply_changes(network.round_index + 1, changes)
+        assert total_inserts > 0
+        assert total_deletes > 0
+
+    def test_deterministic_given_seed(self):
+        def realize(seed):
+            adversary = HeavyTailedChurnAdversary(15, num_rounds=60, seed=seed)
+            network, _ = drive(adversary, 15)
+            return network.edges
+
+        assert realize(2) == realize(2)
+
+
+class TestBatchInsert:
+    def test_single_burst(self):
+        adversary = BatchInsertAdversary([(0, 1), (2, 3)], quiet_rounds=2)
+        network, rounds = drive(adversary, 5)
+        assert network.num_edges == 2
+        assert rounds == 3  # burst + two quiet rounds
+
+    def test_random_graph_builder(self):
+        adversary = BatchInsertAdversary.random_graph(10, num_edges=12, seed=0)
+        network, _ = drive(adversary, 10)
+        assert network.num_edges == 12
+
+
+class TestFlicker:
+    def test_schedule_shape(self):
+        schedule = flicker_schedule(0, 1, 2, filler_u=[3, 4], filler_w=[5, 6, 7, 8])
+        # Round 1 builds the triangle plus filler edges.
+        assert (0, 1) in schedule[0].insertions and (1, 2) in schedule[0].insertions
+        # Round 2 deletes the far edge.
+        assert schedule[1].deletions == [(1, 2)]
+        # The {v,u} edge is deleted exactly in u's announcement round (3 + 2).
+        announce_u = 3 + 2
+        assert (0, 1) in schedule[announce_u - 1].deletions
+        assert (0, 1) in schedule[announce_u].insertions
+        # The {v,w} edge is deleted exactly in w's announcement round (3 + 4).
+        announce_w = 3 + 4
+        assert (0, 2) in schedule[announce_w - 1].deletions
+        assert (0, 2) in schedule[announce_w].insertions
+
+    def test_requires_distinct_backlogs(self):
+        with pytest.raises(ValueError):
+            flicker_schedule(0, 1, 2, filler_u=[3], filler_w=[4])
+
+    def test_requires_distinct_nodes(self):
+        with pytest.raises(ValueError):
+            flicker_schedule(0, 1, 2, filler_u=[3], filler_w=[3, 4])
+
+    def test_adversary_is_valid_schedule(self):
+        adversary = FlickerTriangleAdversary()
+        network, _ = drive(adversary, 9)
+        # At the end of the schedule the far edge is gone but the two incident
+        # edges are back.
+        assert not network.has_edge(1, 2)
+        assert network.has_edge(0, 1) and network.has_edge(0, 2)

@@ -1,0 +1,135 @@
+"""Tests for the analysis utilities (fits, counting bounds, tables)."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    MODELS,
+    compare_models,
+    fit_scaled_model,
+    format_table,
+    growth_exponent,
+    is_bounded_by_constant,
+    log2_binomial,
+    theorem2_lower_bound,
+    theorem4_lower_bound,
+    write_csv,
+)
+
+
+class TestGrowthFits:
+    def test_growth_exponent_of_linear_data(self):
+        sizes = [10, 20, 40, 80]
+        values = [3 * n for n in sizes]
+        assert abs(growth_exponent(sizes, values) - 1.0) < 1e-6
+
+    def test_growth_exponent_of_constant_data(self):
+        sizes = [10, 20, 40, 80]
+        values = [2.5] * 4
+        assert abs(growth_exponent(sizes, values)) < 1e-6
+
+    def test_growth_exponent_of_sqrt_data(self):
+        sizes = [16, 64, 256, 1024]
+        values = [math.sqrt(n) for n in sizes]
+        assert abs(growth_exponent(sizes, values) - 0.5) < 1e-6
+
+    def test_growth_exponent_requires_two_points(self):
+        with pytest.raises(ValueError):
+            growth_exponent([10], [1])
+
+    def test_fit_scaled_model_recovers_scale(self):
+        sizes = [32, 64, 128, 256]
+        values = [7 * n / math.log2(n) for n in sizes]
+        fit = fit_scaled_model(sizes, values, "n_over_log_n")
+        assert abs(fit.scale - 7) < 1e-6
+        assert fit.relative_residual < 1e-9
+        assert abs(fit.predict(64) - 7 * 64 / 6) < 1e-6
+
+    def test_fit_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            fit_scaled_model([1, 2], [1, 2], "exponential")
+
+    def test_compare_models_picks_the_right_shape(self):
+        sizes = [64, 256, 1024, 4096]
+        values = [5 * n / math.log2(n) for n in sizes]
+        fits = compare_models(sizes, values)
+        best = min(fits.values(), key=lambda f: f.relative_residual)
+        assert best.model == "n_over_log_n"
+
+    def test_is_bounded_by_constant(self):
+        assert is_bounded_by_constant([0.5, 2.9, 1.0], 3.0)
+        assert not is_bounded_by_constant([0.5, 3.2], 3.0)
+
+    def test_models_are_positive(self):
+        for name, fn in MODELS.items():
+            assert fn(100) > 0, name
+
+
+class TestCountingBounds:
+    def test_log2_binomial_matches_math_comb(self):
+        assert abs(log2_binomial(20, 7) - math.log2(math.comb(20, 7))) < 1e-9
+        assert log2_binomial(5, 9) == 0.0
+
+    def test_theorem2_bound_grows_nearly_linearly(self):
+        bounds = {n: theorem2_lower_bound(n, k=3).amortized_lower_bound for n in (128, 512, 2048)}
+        sizes = sorted(bounds)
+        exponent = growth_exponent(sizes, [bounds[n] for n in sizes])
+        # n / log n growth has a log-log slope a bit below 1.
+        assert 0.8 < exponent < 1.05
+
+    def test_theorem2_bound_fields(self):
+        bound = theorem2_lower_bound(256, k=4)
+        assert bound.iterations == 1 + (256 - 4 + 1) // 2
+        assert bound.total_bits > 0
+        assert bound.amortized_lower_bound > 1
+
+    def test_theorem2_rejects_tiny_patterns(self):
+        with pytest.raises(ValueError):
+            theorem2_lower_bound(100, k=2)
+
+    def test_theorem4_bound_grows_like_sqrt(self):
+        bounds = {
+            n: theorem4_lower_bound(n, k=6).amortized_lower_bound
+            for n in (1024, 4096, 16384, 65536)
+        }
+        sizes = sorted(bounds)
+        exponent = growth_exponent(sizes, [bounds[n] for n in sizes])
+        # sqrt(n) / log n: the log-log slope sits a bit below 0.5 at these sizes.
+        assert 0.25 < exponent < 0.6
+
+    def test_theorem4_bound_fields(self):
+        bound = theorem4_lower_bound(400, k=6)
+        assert bound.t == 20
+        assert bound.bits_per_visit > 0
+        assert bound.total_changes > 0
+
+    def test_theorem4_rejects_small_k(self):
+        with pytest.raises(ValueError):
+            theorem4_lower_bound(400, k=5)
+
+    def test_theorem2_much_larger_than_theorem4(self):
+        n = 4096
+        t2 = theorem2_lower_bound(n, k=3).amortized_lower_bound
+        t4 = theorem4_lower_bound(n, k=6).amortized_lower_bound
+        # The near-linear bound dominates the sqrt bound by a large margin.
+        assert t2 > 100 * t4 > 0
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        table = format_table(["n", "value"], [[16, 1.25], [1024, 0.5]])
+        lines = table.splitlines()
+        assert lines[0].startswith("n")
+        assert len(lines) == 4
+        assert "1024" in lines[3]
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_write_csv(self, tmp_path):
+        path = write_csv(tmp_path / "out" / "table.csv", ["a", "b"], [[1, 2], [3, 4]])
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "a,b"
+        assert content[2] == "3,4"

@@ -1,0 +1,63 @@
+"""Unit tests for the per-link bandwidth policy."""
+
+import pytest
+
+from repro.simulator.bandwidth import BandwidthExceededError, BandwidthPolicy
+from repro.simulator.messages import Envelope, SnapshotChunkMessage, id_bits
+
+
+def big_envelope(n: int) -> Envelope:
+    """An envelope carrying an n-bit snapshot (always over budget)."""
+    return Envelope(
+        payload=SnapshotChunkMessage(
+            owner=0, epoch=1, chunk_index=0, total_chunks=1, members=(), chunk_bits=n
+        )
+    )
+
+
+class TestBudget:
+    def test_budget_scales_with_log_n(self):
+        policy = BandwidthPolicy(factor=8)
+        assert policy.budget_bits(16) == 8 * 4
+        assert policy.budget_bits(1024) == 8 * 10
+
+    def test_silent_envelopes_are_free(self):
+        policy = BandwidthPolicy()
+        size = policy.charge(1, 0, 1, Envelope(), n=64)
+        assert size == 0
+        assert policy.total_envelopes == 0
+        assert policy.total_bits == 0
+
+
+class TestEnforcement:
+    def test_strict_mode_raises(self):
+        policy = BandwidthPolicy(factor=2, strict=True)
+        with pytest.raises(BandwidthExceededError):
+            policy.charge(3, 0, 1, big_envelope(1000), n=64)
+        assert policy.num_violations == 1
+
+    def test_non_strict_mode_records(self):
+        policy = BandwidthPolicy(factor=2, strict=False)
+        size = policy.charge(3, 0, 1, big_envelope(1000), n=64)
+        assert size > policy.budget_bits(64)
+        assert policy.num_violations == 1
+        violation = policy.violations[0]
+        assert violation.round_index == 3
+        assert (violation.sender, violation.receiver) == (0, 1)
+        assert violation.size_bits == size
+
+    def test_within_budget_is_not_a_violation(self):
+        policy = BandwidthPolicy(factor=8, strict=True)
+        env = Envelope(is_empty=False)
+        policy.charge(1, 0, 1, env, n=64)
+        assert policy.num_violations == 0
+        assert policy.total_envelopes == 1
+        assert policy.max_observed_bits == 1
+
+    def test_summary_contents(self):
+        policy = BandwidthPolicy(factor=4, strict=False)
+        policy.charge(1, 0, 1, Envelope(is_empty=False), n=32)
+        summary = policy.summary(32)
+        assert summary["budget_bits"] == 4 * id_bits(32)
+        assert summary["total_envelopes"] == 1
+        assert summary["violations"] == 0

@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import ALGORITHMS, build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.algorithm == "triangle"
+        assert args.adversary == "churn"
+        assert args.nodes == 30
+
+    def test_algorithm_choices_cover_core(self):
+        assert {"triangle", "clique", "robust2hop", "robust3hop", "cycles", "twohop", "naive"} <= set(
+            ALGORITHMS
+        )
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--algorithm", "magic"])
+
+
+class TestMain:
+    def test_churn_run_prints_metrics(self, capsys):
+        code = main(["--algorithm", "triangle", "--nodes", "12", "--rounds", "40", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "amortized_round_complexity" in out
+        assert "total_changes" in out
+
+    def test_p2p_adversary(self, capsys):
+        code = main(["--algorithm", "clique", "--adversary", "p2p", "--nodes", "12", "--rounds", "30"])
+        assert code == 0
+        assert "amortized_round_complexity" in capsys.readouterr().out
+
+    def test_batch_adversary_with_naive_baseline(self, capsys):
+        code = main(
+            [
+                "--algorithm",
+                "naive",
+                "--adversary",
+                "batch",
+                "--nodes",
+                "10",
+                "--rounds",
+                "10",
+                "--loose-bandwidth",
+            ]
+        )
+        assert code == 0
+
+    def test_theorem2_adversary(self, capsys):
+        code = main(
+            [
+                "--algorithm",
+                "twohop",
+                "--adversary",
+                "theorem2",
+                "--nodes",
+                "10",
+                "--rounds",
+                "200",
+                "--pattern",
+                "P3",
+            ]
+        )
+        assert code == 0
+        assert "inconsistent_rounds" in capsys.readouterr().out

@@ -1,0 +1,108 @@
+"""Tests for k-clique membership listing (Corollary 1)."""
+
+import itertools
+
+import pytest
+
+from repro.adversary import RandomChurnAdversary, ScriptedAdversary
+from repro.core import CliqueMembershipNode, CliqueQuery, QueryResult, TriangleQuery
+from repro.oracle import cliques_containing
+from repro.workloads import planted_clique_churn
+
+from conftest import run_schedule, run_simulation
+
+
+def clique_edges(nodes):
+    return [tuple(sorted(pair)) for pair in itertools.combinations(sorted(nodes), 2)]
+
+
+class TestSmallCliques:
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_clique_membership_after_growth(self, k):
+        members = list(range(k))
+        schedule = [([edge], []) for edge in clique_edges(members)]
+        result, _ = run_schedule(CliqueMembershipNode, schedule, n=k + 2)
+        for v in members:
+            assert result.nodes[v].query(CliqueQuery(members)) is QueryResult.TRUE
+
+    def test_missing_edge_breaks_clique(self):
+        members = [0, 1, 2, 3]
+        edges = clique_edges(members)[:-1]  # leave one edge out
+        schedule = [([edge], []) for edge in edges]
+        result, _ = run_schedule(CliqueMembershipNode, schedule, n=6)
+        for v in members:
+            assert result.nodes[v].query(CliqueQuery(members)) is QueryResult.FALSE
+
+    def test_clique_destroyed_by_single_deletion(self):
+        members = [0, 1, 2, 3]
+        schedule = [(clique_edges(members), []), None, ([], [(2, 3)])]
+        result, _ = run_schedule(CliqueMembershipNode, schedule, n=6)
+        for v in members:
+            assert result.nodes[v].query(CliqueQuery(members)) is QueryResult.FALSE
+        # The triangles not using the deleted edge survive.
+        assert result.nodes[0].query(TriangleQuery({0, 1, 2})) is QueryResult.TRUE
+
+    def test_query_must_contain_node(self):
+        result, _ = run_schedule(CliqueMembershipNode, [(clique_edges([0, 1, 2]), [])], n=6)
+        with pytest.raises(ValueError):
+            result.nodes[5].query(CliqueQuery({0, 1, 2}))
+
+    def test_triangle_queries_still_work(self):
+        result, _ = run_schedule(CliqueMembershipNode, [(clique_edges([0, 1, 2]), [])], n=5)
+        assert result.nodes[0].query(TriangleQuery({0, 1, 2})) is QueryResult.TRUE
+
+
+class TestEnumerationHelpers:
+    def test_known_cliques_matches_oracle(self):
+        members = [0, 1, 2, 3]
+        schedule = [(clique_edges(members), []), ([(0, 4), (1, 4)], [])]
+        result, _ = run_schedule(CliqueMembershipNode, schedule, n=6)
+        network = result.network
+        for v in range(5):
+            for k in (3, 4):
+                assert result.nodes[v].known_cliques(k) == cliques_containing(
+                    network.edges, v, k
+                ), f"node {v}, k={k}"
+
+    def test_known_cliques_rejects_small_k(self):
+        node = CliqueMembershipNode(0, 4)
+        with pytest.raises(ValueError):
+            node.known_cliques(2)
+
+
+class TestPlantedCliquesUnderChurn:
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_planted_cliques_are_reported_by_all_members(self, k):
+        adversary, plants = planted_clique_churn(
+            12, k, num_plants=2, noise_edges_per_round=1, seed=k
+        )
+        # Stop right after the last plant is fully inserted: run the schedule
+        # only up to the point where the final clique is alive.  Easier: replay
+        # the full schedule but check against the oracle at the end for
+        # whichever cliques are present in the final graph.
+        result, oracle = run_simulation(CliqueMembershipNode, adversary, n=12)
+        network = result.network
+        for v in range(12):
+            expected = cliques_containing(network.edges, v, k)
+            got = result.nodes[v].known_cliques(k)
+            assert got == expected, f"node {v}: {got} != {expected}"
+
+    def test_membership_queries_match_oracle_under_churn(self):
+        result, oracle = run_simulation(
+            CliqueMembershipNode,
+            RandomChurnAdversary(14, num_rounds=150, inserts_per_round=4, deletes_per_round=2, seed=3),
+            n=14,
+        )
+        network = result.network
+        # Check every 4-subset containing node 0 among its neighborhood.
+        node0 = result.nodes[0]
+        neighbors = sorted(node0.adj)
+        for combo in itertools.combinations(neighbors[:8], 3):
+            candidate = frozenset(combo) | {0}
+            expected = QueryResult.of(oracle.is_clique(candidate))
+            assert node0.query(CliqueQuery(candidate)) is expected
+
+    def test_amortized_complexity_is_constant(self):
+        adversary, _ = planted_clique_churn(16, 4, num_plants=4, seed=1)
+        result, _ = run_simulation(CliqueMembershipNode, adversary, n=16)
+        assert result.metrics.max_running_amortized_complexity() <= 3.0 + 1e-9

@@ -1,0 +1,146 @@
+"""Tests for 4-cycle and 5-cycle listing (Theorems 3 / 5)."""
+
+import itertools
+
+import pytest
+
+from repro.adversary import RandomChurnAdversary
+from repro.core import CycleListingNode, CycleQuery, EdgeQuery, QueryResult
+from repro.core.cycles import cyclic_orderings
+from repro.oracle import cycles_of_length, is_cycle_ordering
+from repro.workloads import planted_cycle_churn
+
+from conftest import run_schedule, run_simulation
+
+
+def cycle_edges(ordering):
+    k = len(ordering)
+    return [tuple(sorted((ordering[i], ordering[(i + 1) % k]))) for i in range(k)]
+
+
+def collective_answer(result, cycle_nodes):
+    """Query every node of the cycle; return the collective listing outcome.
+
+    Returns a pair ``(any_true, any_inconsistent)`` as in the paper's
+    definition of the listing problem.
+    """
+    any_true = False
+    any_inconsistent = False
+    for v in cycle_nodes:
+        node = result.nodes[v]
+        if not node.is_consistent():
+            any_inconsistent = True
+            continue
+        if node.knows_cycle_set(set(cycle_nodes)):
+            any_true = True
+    return any_true, any_inconsistent
+
+
+class TestCyclicOrderings:
+    def test_orderings_are_anchored(self):
+        orderings = cyclic_orderings({1, 2, 3, 4}, anchor=3)
+        assert all(o[0] == 3 for o in orderings)
+        assert len(orderings) == 6  # 3! permutations of the rest
+
+    def test_anchor_must_be_member(self):
+        with pytest.raises(ValueError):
+            cyclic_orderings({1, 2, 3}, anchor=9)
+
+
+class TestPlantedCycles:
+    @pytest.mark.parametrize("k", [4, 5])
+    @pytest.mark.parametrize("order_seed", [0, 1, 2])
+    def test_some_member_lists_the_cycle(self, k, order_seed):
+        """For every insertion order of a planted k-cycle, some member answers TRUE."""
+        import numpy as np
+
+        members = list(range(k))
+        edges = cycle_edges(members)
+        rng = np.random.default_rng(order_seed)
+        order = [edges[i] for i in rng.permutation(k)]
+        schedule = [([edge], []) for edge in order]
+        result, _ = run_schedule(CycleListingNode, schedule, n=k + 2)
+        any_true, any_inconsistent = collective_answer(result, members)
+        assert any_true and not any_inconsistent
+
+    @pytest.mark.parametrize("k", [4, 5])
+    def test_no_member_claims_a_destroyed_cycle(self, k):
+        members = list(range(k))
+        edges = cycle_edges(members)
+        schedule = [(edges, []), None, None, ([], [edges[0]]), None, None]
+        result, _ = run_schedule(CycleListingNode, schedule, n=k + 2)
+        any_true, any_inconsistent = collective_answer(result, members)
+        assert not any_true and not any_inconsistent
+
+    def test_ordered_query_checks_exactly_those_edges(self):
+        # A 4-cycle 0-1-2-3 plus a chord: the ordered query for the cycle is
+        # TRUE, the query for a non-cyclic ordering is FALSE.
+        members = [0, 1, 2, 3]
+        result, _ = run_schedule(
+            CycleListingNode,
+            [(cycle_edges(members) + [(0, 2)], [])],
+            n=6,
+        )
+        node0 = result.nodes[0]
+        assert node0.query(CycleQuery((0, 1, 2, 3))) is QueryResult.TRUE
+        # 0-1-3-2 needs edges (1,3) and (0,2)... (0,2) exists but (1,3) does not.
+        assert node0.query(CycleQuery((0, 1, 3, 2))) is QueryResult.FALSE
+
+    def test_query_must_contain_the_node(self):
+        result, _ = run_schedule(CycleListingNode, [(cycle_edges([0, 1, 2, 3]), [])], n=6)
+        with pytest.raises(ValueError):
+            result.nodes[5].query(CycleQuery((0, 1, 2, 3)))
+
+    def test_edge_queries_still_answered(self):
+        result, _ = run_schedule(CycleListingNode, [(cycle_edges([0, 1, 2, 3]), [])], n=6)
+        assert result.nodes[0].query(EdgeQuery(1, 2)) is QueryResult.TRUE
+
+
+class TestKnownCycleEnumeration:
+    def test_known_cycles_are_real(self):
+        adversary, plants = planted_cycle_churn(10, 4, num_plants=2, seed=1)
+        result, _ = run_simulation(CycleListingNode, adversary, n=10)
+        network = result.network
+        true_cycles = cycles_of_length(network.edges, 4)
+        for v, node in result.nodes.items():
+            for cycle in node.known_cycles(4):
+                assert cycle in true_cycles
+
+    def test_known_cycles_rejects_bad_k(self):
+        node = CycleListingNode(0, 5)
+        with pytest.raises(ValueError):
+            node.known_cycles(6)
+
+
+class TestListingGuaranteeUnderChurn:
+    @pytest.mark.parametrize("k", [4, 5])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_every_cycle_is_listed_by_some_member(self, k, seed):
+        """The Theorem 5 guarantee, checked on the final (drained) graph.
+
+        After draining, G_{i-1} = G_i, so every k-cycle of the final graph must
+        be claimed by at least one of its members (and no member may claim a
+        node set that is not a cycle -- checked via known_cycles above).
+        """
+        result, _ = run_simulation(
+            CycleListingNode,
+            RandomChurnAdversary(
+                12, num_rounds=100, inserts_per_round=3, deletes_per_round=2, seed=seed
+            ),
+            n=12,
+        )
+        network = result.network
+        cycles = cycles_of_length(network.edges, k)
+        for cycle in cycles:
+            any_true, any_inconsistent = collective_answer(result, sorted(cycle))
+            assert any_true or any_inconsistent, f"cycle {sorted(cycle)} missed by all members"
+
+    def test_amortized_complexity_is_constant(self):
+        result, _ = run_simulation(
+            CycleListingNode,
+            RandomChurnAdversary(
+                14, num_rounds=120, inserts_per_round=3, deletes_per_round=2, seed=4
+            ),
+            n=14,
+        )
+        assert result.metrics.max_running_amortized_complexity() <= 4.0 + 1e-9

@@ -1,0 +1,74 @@
+"""Unit tests for topology-change events and round batches."""
+
+import pytest
+
+from repro.simulator.events import (
+    EdgeDelete,
+    EdgeInsert,
+    RoundChanges,
+    canonical_edge,
+)
+
+
+class TestCanonicalEdge:
+    def test_orders_endpoints(self):
+        assert canonical_edge(5, 2) == (2, 5)
+        assert canonical_edge(2, 5) == (2, 5)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            canonical_edge(3, 3)
+
+    def test_rejects_negative_nodes(self):
+        with pytest.raises(ValueError):
+            canonical_edge(-1, 2)
+        with pytest.raises(ValueError):
+            canonical_edge(2, -7)
+
+
+class TestEvents:
+    def test_insert_properties(self):
+        ev = EdgeInsert(4, 1)
+        assert ev.edge == (1, 4)
+        assert ev.is_insert and not ev.is_delete
+
+    def test_delete_properties(self):
+        ev = EdgeDelete(0, 9)
+        assert ev.edge == (0, 9)
+        assert ev.is_delete and not ev.is_insert
+
+
+class TestRoundChanges:
+    def test_empty(self):
+        rc = RoundChanges.empty()
+        assert len(rc) == 0
+        assert not rc
+        assert rc.insertions == [] and rc.deletions == []
+
+    def test_of_builder(self):
+        rc = RoundChanges.of(insert=[(1, 2), (3, 4)], delete=[(5, 6)])
+        assert set(rc.insertions) == {(1, 2), (3, 4)}
+        assert rc.deletions == [(5, 6)]
+        assert len(rc) == 3
+        assert rc.touched_nodes() == {1, 2, 3, 4, 5, 6}
+
+    def test_inserts_and_deletes_builders(self):
+        assert RoundChanges.inserts([(2, 1)]).insertions == [(1, 2)]
+        assert RoundChanges.deletes([(2, 1)]).deletions == [(1, 2)]
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(ValueError):
+            RoundChanges.of(insert=[(1, 2)], delete=[(2, 1)])
+        with pytest.raises(ValueError):
+            RoundChanges.inserts([(1, 2), (2, 1)])
+
+    def test_extend_validates(self):
+        rc = RoundChanges.inserts([(1, 2)])
+        with pytest.raises(ValueError):
+            rc.extend([EdgeDelete(2, 1)])
+
+    def test_iteration_order_preserved(self):
+        rc = RoundChanges.of(insert=[(1, 2)], delete=[(3, 4)])
+        kinds = [ev.is_delete for ev in rc]
+        # Deletions are listed before insertions by the builder.
+        assert kinds == [True, False]

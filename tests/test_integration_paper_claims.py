@@ -1,0 +1,105 @@
+"""Integration tests: the paper's headline claims as executable checks.
+
+These are slower, cross-module tests that exercise the complexity landscape
+described in the paper's abstract:
+
+* the fast structures (triangle/clique membership, 4/5-cycle listing, robust
+  neighborhoods) keep their amortized round complexity constant as ``n`` grows;
+* the full-2-hop baseline (the only algorithm that can serve non-clique
+  membership queries) gets *more* expensive per change as ``n`` grows, in line
+  with the Theorem 2 / Corollary 2 lower bound;
+* every algorithm respects the ``O(log n)`` bandwidth restriction.
+"""
+
+import pytest
+
+from repro.adversary import (
+    MembershipLowerBoundAdversary,
+    RandomChurnAdversary,
+)
+from repro.analysis import growth_exponent
+from repro.core import (
+    CliqueMembershipNode,
+    CycleListingNode,
+    RobustThreeHopNode,
+    RobustTwoHopNode,
+    TriangleMembershipNode,
+    TwoHopListingNode,
+)
+from repro.core.membership import PATTERNS
+
+from conftest import run_simulation
+
+
+def amortized_under_churn(factory, n, *, rounds, seed=0):
+    result, _ = run_simulation(
+        factory,
+        RandomChurnAdversary(
+            n, num_rounds=rounds, inserts_per_round=3, deletes_per_round=2, seed=seed
+        ),
+        n=n,
+        with_oracle=False,
+    )
+    return result
+
+
+class TestConstantAmortizedComplexityAcrossSizes:
+    @pytest.mark.parametrize(
+        "factory,bound",
+        [
+            (RobustTwoHopNode, 1.0),
+            (TriangleMembershipNode, 3.0),
+            (CliqueMembershipNode, 3.0),
+        ],
+    )
+    def test_amortized_complexity_does_not_grow_with_n(self, factory, bound):
+        sizes = [10, 20, 40]
+        measured = []
+        for n in sizes:
+            result = amortized_under_churn(factory, n, rounds=80)
+            measured.append(result.amortized_round_complexity)
+            assert result.metrics.max_running_amortized_complexity() <= bound + 1e-9
+        # Flat (or decreasing) trend: log-log slope well below 0.3.
+        assert growth_exponent(sizes, [max(m, 1e-6) for m in measured]) < 0.3
+
+    @pytest.mark.parametrize("factory", [RobustThreeHopNode, CycleListingNode])
+    def test_three_hop_structures_stay_constant(self, factory):
+        sizes = [10, 18]
+        measured = []
+        for n in sizes:
+            result = amortized_under_churn(factory, n, rounds=60)
+            measured.append(result.amortized_round_complexity)
+            assert result.metrics.max_running_amortized_complexity() <= 4.0 + 1e-9
+        assert growth_exponent(sizes, [max(m, 1e-6) for m in measured]) < 0.3
+
+
+class TestLowerBoundSeparation:
+    def test_two_hop_listing_cost_grows_under_theorem2_adversary(self):
+        """Running the Lemma 1 baseline against the Theorem 2 adversary shows
+        the growing per-change cost that the lower bound mandates, while the
+        triangle structure under the same kind of schedule stays cheap."""
+        costs = {}
+        for n in (12, 48):
+            adversary = MembershipLowerBoundAdversary(
+                n, PATTERNS["P3"], num_iterations=min(8, n - 1)
+            )
+            result, _ = run_simulation(TwoHopListingNode, adversary, n=n, with_oracle=False)
+            costs[n] = result.amortized_round_complexity
+        assert costs[48] > 1.5 * costs[12]
+
+    def test_triangle_structure_is_cheap_under_the_same_adversary(self):
+        adversary = MembershipLowerBoundAdversary(48, PATTERNS["P3"], num_iterations=8)
+        result, _ = run_simulation(TriangleMembershipNode, adversary, n=48, with_oracle=False)
+        assert result.metrics.max_running_amortized_complexity() <= 3.0 + 1e-9
+
+
+class TestBandwidthDiscipline:
+    @pytest.mark.parametrize(
+        "factory",
+        [RobustTwoHopNode, TriangleMembershipNode, RobustThreeHopNode, CycleListingNode, TwoHopListingNode],
+    )
+    def test_all_fast_algorithms_fit_logarithmic_bandwidth(self, factory):
+        # strict bandwidth (the default) raises on any violation.
+        result = amortized_under_churn(factory, 24, rounds=40, seed=2)
+        assert result.bandwidth.num_violations == 0
+        assert result.bandwidth.max_observed_bits <= result.bandwidth.budget_bits(24)

@@ -1,0 +1,144 @@
+"""Structural tests for the lower-bound adversaries (Theorems 2, 4; Remark 1)."""
+
+import pytest
+
+from repro.adversary import (
+    CycleLowerBoundAdversary,
+    MembershipLowerBoundAdversary,
+    ThreePathLowerBoundAdversary,
+    choose_parameters,
+)
+from repro.core.membership import PATTERNS, HPattern
+from repro.oracle.subgraphs import cycles_of_length, set_is_cycle
+from repro.simulator import DynamicNetwork
+from repro.simulator.adversary import AdversaryView
+
+
+def drive_until_done(adversary, n, consistent=True, max_rounds=200_000, stop_after=None):
+    """Apply the schedule to a bare network (assuming instant stabilization)."""
+    network = DynamicNetwork(n)
+    rounds = 0
+    while not adversary.is_done and rounds < max_rounds:
+        view = AdversaryView.from_network(network, network.round_index + 1, consistent)
+        changes = adversary.changes_for_round(view)
+        if changes is None:
+            break
+        network.apply_changes(network.round_index + 1, changes)
+        rounds += 1
+        if stop_after is not None and rounds >= stop_after:
+            break
+    return network, rounds
+
+
+class TestTheorem2Adversary:
+    def test_rejects_clique_patterns(self):
+        with pytest.raises(ValueError):
+            MembershipLowerBoundAdversary(20, HPattern.clique(3))
+
+    def test_p3_schedule_alternates_attachments(self):
+        adversary = MembershipLowerBoundAdversary(12, PATTERNS["P3"], num_iterations=3)
+        network, _ = drive_until_done(adversary, 12)
+        # P3 has one anchor (the middle vertex); all probe nodes end detached.
+        assert len(adversary.anchor_nodes) == 1
+        assert network.num_edges == 0
+        assert len(adversary.iterations) == 3
+        # Every iteration attaches a distinct fresh node to the anchor.
+        nodes_used = [it.node for it in adversary.iterations]
+        assert len(set(nodes_used)) == 3
+        for it in adversary.iterations:
+            assert it.phase_a_edges  # vertex a of P3 has one neighbor (the middle)
+            assert it.phase_b_edges
+
+    def test_diamond_schedule_wires_anchors(self):
+        pattern = PATTERNS["diamond"]
+        adversary = MembershipLowerBoundAdversary(15, pattern, num_iterations=2)
+        network, _ = drive_until_done(adversary, 15, stop_after=1)
+        # After the first round the anchors (pattern vertices 0 and 2) are wired
+        # according to the induced pattern (one edge between them).
+        assert network.num_edges == 1
+
+    def test_iteration_count_capped_by_available_nodes(self):
+        adversary = MembershipLowerBoundAdversary(6, PATTERNS["P3"])
+        assert adversary.num_iterations == 5  # one anchor, five probe nodes
+
+    def test_total_changes_linear_in_iterations(self):
+        adversary = MembershipLowerBoundAdversary(30, PATTERNS["P4"], num_iterations=10)
+        network, _ = drive_until_done(adversary, 30)
+        # Each iteration performs O(k) changes; with 10 iterations the total
+        # stays well below quadratic.
+        assert network.total_changes <= 10 * 2 * (PATTERNS["P4"].k - 2) + 10
+
+
+class TestTheorem4Adversary:
+    def test_parameter_selection(self):
+        t, D, gamma = choose_parameters(100, 6)
+        assert gamma == 2
+        assert t * (gamma + D) <= 100
+        assert D >= 3
+
+    def test_too_small_n_rejected(self):
+        with pytest.raises(ValueError):
+            choose_parameters(10, 6)
+
+    def test_phase_one_builds_components(self):
+        adversary = CycleLowerBoundAdversary(100, k=6, seed=1)
+        network, _ = drive_until_done(adversary, 100, stop_after=adversary.t)
+        for comp in adversary.components:
+            # u1 attached to exactly 2D/3 leaves, u2 to all leaves.
+            u1_degree = network.degree(comp.u1)
+            assert u1_degree == adversary.attached_count
+            assert network.degree(comp.u_nodes[1]) == adversary.D
+
+    def test_bridging_creates_six_cycles(self):
+        adversary = CycleLowerBoundAdversary(100, k=6, num_components=2, seed=0)
+        network = DynamicNetwork(100)
+        # Apply rounds until the first bridge (phase I has t rounds, then the
+        # stability wait, then the bridge insertion).
+        rounds = 0
+        while not adversary.is_done:
+            view = AdversaryView.from_network(network, network.round_index + 1, True)
+            changes = adversary.changes_for_round(view)
+            if changes is None:
+                break
+            network.apply_changes(network.round_index + 1, changes)
+            rounds += 1
+            if adversary.connection_events and len(cycles_of_length(network.edges, 6)) > 0:
+                break
+        shared = adversary.shared_leaf_indices(2, 1)
+        cycles = cycles_of_length(network.edges, 6)
+        # Every shared leaf index yields a 6-cycle through the two bridges.
+        assert len(shared) >= adversary.D // 3
+        assert len(cycles) >= len(shared)
+
+    def test_schedule_is_valid_to_completion(self):
+        adversary = CycleLowerBoundAdversary(64, k=6, num_components=3, seed=2)
+        network, rounds = drive_until_done(adversary, 64)
+        # All bridges removed at the end; components remain.
+        assert rounds > 0
+        assert network.num_edges == sum(
+            adversary.attached_count + adversary.D for _ in adversary.components
+        )
+
+    def test_odd_k_schedule_is_valid(self):
+        adversary = CycleLowerBoundAdversary(144, k=7, num_components=3, seed=3)
+        network, rounds = drive_until_done(adversary, 144)
+        assert rounds > 0
+
+
+class TestRemark1Adversary:
+    def test_components_and_bridges(self):
+        adversary = ThreePathLowerBoundAdversary(64, num_components=3, seed=0)
+        network, _ = drive_until_done(adversary, 64)
+        assert len(adversary.components) == 3
+        assert adversary.connection_events == [(2, 1), (3, 1), (3, 2)]
+        for comp in adversary.components:
+            assert network.degree(comp.hub) == adversary.attached_count
+
+    def test_shared_leaves_exist(self):
+        adversary = ThreePathLowerBoundAdversary(100, num_components=4, seed=1)
+        drive_until_done(adversary, 100)
+        assert len(adversary.shared_leaf_indices(2, 1)) >= adversary.D // 3
+
+    def test_too_small_n_rejected(self):
+        with pytest.raises(ValueError):
+            ThreePathLowerBoundAdversary(6)

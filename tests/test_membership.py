@@ -1,0 +1,65 @@
+"""Tests for the H-pattern machinery used by the Theorem 2 experiments."""
+
+import pytest
+
+from repro.core.membership import PATTERNS, HMembershipQuery, HPattern
+
+
+class TestHPattern:
+    def test_clique_detection(self):
+        assert HPattern.clique(4).is_clique
+        assert not HPattern.path(3).is_clique
+        assert not HPattern.diamond().is_clique
+
+    def test_clique_has_no_non_adjacent_pair(self):
+        assert HPattern.clique(5).non_adjacent_pair() is None
+
+    def test_path_non_adjacent_pair(self):
+        pattern = HPattern.path(3)
+        pair = pattern.non_adjacent_pair()
+        assert pair is not None
+        a, b = pair
+        assert not pattern.has_edge(a, b)
+
+    def test_neighbors_and_degree(self):
+        p4 = HPattern.path(4)
+        assert p4.neighbors(0) == frozenset({1})
+        assert p4.neighbors(1) == frozenset({0, 2})
+        assert p4.degree(1) == 2
+        assert p4.degree(0) == 1
+
+    def test_cycle_pattern(self):
+        c5 = HPattern.cycle(5)
+        assert len(c5.edges) == 5
+        assert all(c5.degree(v) == 2 for v in range(5))
+
+    def test_diamond_pattern(self):
+        d = HPattern.diamond()
+        assert d.k == 4
+        assert len(d.edges) == 5
+        assert d.non_adjacent_pair() == (1, 3)
+
+    def test_invalid_edges_rejected(self):
+        with pytest.raises(ValueError):
+            HPattern(name="bad", k=3, edges=frozenset({(0, 3)}))
+
+    def test_pattern_zoo(self):
+        assert set(PATTERNS) >= {"P3", "P4", "C4", "C5", "diamond", "K3", "K4", "K5"}
+        assert PATTERNS["K3"].is_clique
+        assert not PATTERNS["C4"].is_clique
+
+
+class TestHMembershipQuery:
+    def test_mapped_edges(self):
+        query = HMembershipQuery(PATTERNS["P3"], (5, 9, 7))
+        # P3 edges are (0,1) and (1,2): mapped to {5,9} and {7,9}.
+        assert sorted(query.mapped_edges()) == [(5, 9), (7, 9)]
+        assert query.nodes == frozenset({5, 7, 9})
+
+    def test_assignment_must_cover_pattern(self):
+        with pytest.raises(ValueError):
+            HMembershipQuery(PATTERNS["P4"], (1, 2, 3))
+
+    def test_assignment_must_be_injective(self):
+        with pytest.raises(ValueError):
+            HMembershipQuery(PATTERNS["P3"], (1, 2, 1))

@@ -1,0 +1,79 @@
+"""Unit tests for message bit-size accounting and envelopes."""
+
+import pytest
+
+from repro.simulator.messages import (
+    EdgeDeleteHopMessage,
+    EdgeEventMessage,
+    EdgeOp,
+    Envelope,
+    PathInsertMessage,
+    PatternMark,
+    SnapshotChunkMessage,
+    id_bits,
+)
+
+
+class TestIdBits:
+    def test_small_networks(self):
+        assert id_bits(2) == 1
+        assert id_bits(3) == 2
+        assert id_bits(4) == 2
+        assert id_bits(1024) == 10
+        assert id_bits(1025) == 11
+
+    def test_minimum_one_bit(self):
+        assert id_bits(1) == 1
+
+
+class TestMessageSizes:
+    def test_edge_event_size_is_two_ids_plus_marks(self):
+        msg = EdgeEventMessage((3, 7), EdgeOp.INSERT, PatternMark.A)
+        assert msg.size_bits(100) == 2 * id_bits(100) + 2
+
+    def test_path_message_size_scales_with_length(self):
+        short = PathInsertMessage((1, 2))
+        longer = PathInsertMessage((1, 2, 3))
+        assert longer.size_bits(64) - short.size_bits(64) == id_bits(64)
+
+    def test_path_message_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            PathInsertMessage((4,))
+        with pytest.raises(ValueError):
+            PathInsertMessage((4, 4))
+
+    def test_delete_hop_message_bounds_hops(self):
+        EdgeDeleteHopMessage((0, 1), 0)
+        EdgeDeleteHopMessage((0, 1), 3)
+        with pytest.raises(ValueError):
+            EdgeDeleteHopMessage((0, 1), 4)
+        with pytest.raises(ValueError):
+            EdgeDeleteHopMessage((0, 1), -1)
+
+    def test_snapshot_chunk_size(self):
+        chunk = SnapshotChunkMessage(
+            owner=1, epoch=2, chunk_index=0, total_chunks=4, members=(2, 3), chunk_bits=25
+        )
+        assert chunk.size_bits(100) == 25 + 3 * id_bits(100)
+
+
+class TestEnvelope:
+    def test_silent_envelope_costs_nothing(self):
+        env = Envelope()
+        assert env.is_silent
+        assert env.size_bits(100) == 0
+
+    def test_false_flags_cost_one_bit_each(self):
+        assert Envelope(is_empty=False).size_bits(100) == 1
+        assert Envelope(is_empty=False, are_neighbors_empty=False).size_bits(100) == 2
+        assert not Envelope(is_empty=False).is_silent
+        assert not Envelope(are_neighbors_empty=False).is_silent
+
+    def test_true_are_neighbors_empty_is_silent(self):
+        assert Envelope(are_neighbors_empty=True).is_silent
+
+    def test_payload_dominates_size(self):
+        payload = EdgeEventMessage((0, 1), EdgeOp.DELETE)
+        env = Envelope(payload=payload, is_empty=False)
+        assert env.size_bits(50) == payload.size_bits(50) + 1
+        assert not env.is_silent

@@ -1,0 +1,71 @@
+"""Unit tests for the amortized-complexity accounting."""
+
+from repro.simulator.metrics import MetricsCollector
+
+
+def record(collector, round_index, changes, inconsistent, envelopes=0, bits=0):
+    return collector.record_round(round_index, changes, inconsistent, envelopes, bits)
+
+
+class TestAmortizedComplexity:
+    def test_zero_changes_gives_zero(self):
+        m = MetricsCollector()
+        record(m, 1, 0, [])
+        assert m.amortized_round_complexity() == 0.0
+
+    def test_ratio_of_inconsistent_rounds_to_changes(self):
+        m = MetricsCollector()
+        record(m, 1, 2, [0, 1])
+        record(m, 2, 0, [0])
+        record(m, 3, 0, [])
+        assert m.total_changes == 2
+        assert m.inconsistent_rounds == 2
+        assert m.amortized_round_complexity() == 1.0
+
+    def test_running_curve_is_prefix_wise(self):
+        m = MetricsCollector()
+        record(m, 1, 1, [3])
+        record(m, 2, 0, [3])
+        record(m, 3, 1, [])
+        curve = m.running_amortized_complexity()
+        assert curve == [1.0, 2.0, 1.0]
+        assert m.max_running_amortized_complexity() == 2.0
+
+    def test_multiple_inconsistent_nodes_count_one_round(self):
+        m = MetricsCollector()
+        record(m, 1, 5, [0, 1, 2, 3])
+        assert m.inconsistent_rounds == 1
+        assert m.amortized_round_complexity() == 1 / 5
+
+
+class TestPerNodeAndTotals:
+    def test_per_node_counts(self):
+        m = MetricsCollector()
+        record(m, 1, 1, [0, 2])
+        record(m, 2, 0, [2])
+        assert m.per_node_inconsistent_rounds == {0: 1, 2: 2}
+        assert m.worst_node_inconsistent_rounds() == 2
+
+    def test_bits_and_envelopes_accumulate(self):
+        m = MetricsCollector()
+        record(m, 1, 2, [], envelopes=3, bits=30)
+        record(m, 2, 0, [], envelopes=1, bits=12)
+        assert m.total_envelopes == 4
+        assert m.total_bits == 42
+        assert m.amortized_bits_per_change() == 21.0
+
+    def test_tail_consistent_rounds(self):
+        m = MetricsCollector()
+        record(m, 1, 1, [0])
+        record(m, 2, 0, [])
+        record(m, 3, 0, [])
+        assert m.tail_consistent_rounds() == 2
+
+    def test_summary_keys(self):
+        m = MetricsCollector()
+        record(m, 1, 1, [0], envelopes=1, bits=5)
+        summary = m.summary()
+        assert summary["total_changes"] == 1.0
+        assert summary["inconsistent_rounds"] == 1.0
+        assert summary["amortized_round_complexity"] == 1.0
+        assert "amortized_bits_per_change" in summary

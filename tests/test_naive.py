@@ -1,0 +1,98 @@
+"""Tests for the baseline strawmen: the flickering failure and the bandwidth cost.
+
+Experiment E10 in code form: the Section 1.3 adversary makes the timestamp-free
+forwarding algorithm answer a triangle query *incorrectly while claiming to be
+consistent*, whereas the paper's structures stay correct.
+"""
+
+import pytest
+
+from repro.adversary import FlickerTriangleAdversary, RandomChurnAdversary
+from repro.core import (
+    EdgeQuery,
+    FullBroadcastNode,
+    NaiveForwardingNode,
+    QueryResult,
+    RobustTwoHopNode,
+    TriangleMembershipNode,
+    TriangleQuery,
+)
+
+from conftest import run_simulation
+
+
+class TestNaiveForwardingIsWrongUnderFlicker:
+    def test_naive_believes_ghost_triangle(self):
+        adversary = FlickerTriangleAdversary()
+        result, _ = run_simulation(NaiveForwardingNode, adversary, n=9)
+        v, u, w = adversary.v, adversary.u, adversary.w
+        node_v = result.nodes[v]
+        # The node claims to be consistent ...
+        assert node_v.is_consistent()
+        # ... yet answers TRUE for a triangle whose far edge was deleted.
+        assert node_v.query(TriangleQuery({v, u, w})) is QueryResult.TRUE
+        assert not result.network.has_edge(u, w)
+
+    def test_robust_structures_answer_correctly_on_the_same_schedule(self):
+        for factory in (RobustTwoHopNode, TriangleMembershipNode):
+            adversary = FlickerTriangleAdversary()
+            result, _ = run_simulation(factory, adversary, n=9)
+            v = adversary.v
+            node_v = result.nodes[v]
+            assert node_v.is_consistent()
+            assert not node_v.knows_edge(*adversary.doomed_edge)
+
+    def test_naive_is_fine_without_flickering(self):
+        """On insertion-only workloads the naive algorithm is not (yet) wrong."""
+        result, _ = run_simulation(
+            NaiveForwardingNode,
+            RandomChurnAdversary(10, num_rounds=60, inserts_per_round=2, deletes_per_round=0, seed=0),
+            n=10,
+        )
+        network = result.network
+        for v, node in result.nodes.items():
+            for edge in node.known_edges():
+                assert network.has_edge(*edge)
+
+
+class TestFullBroadcastBaseline:
+    def test_needs_linear_bandwidth(self):
+        result, _ = run_simulation(
+            FullBroadcastNode,
+            RandomChurnAdversary(30, num_rounds=40, inserts_per_round=2, deletes_per_round=1, seed=1),
+            n=30,
+            strict_bandwidth=False,
+        )
+        assert result.bandwidth.num_violations > 0
+        assert result.bandwidth.max_observed_bits >= 30  # Theta(n)-bit messages
+
+    def test_view_is_correct_one_round_later(self):
+        result, _ = run_simulation(
+            FullBroadcastNode,
+            RandomChurnAdversary(12, num_rounds=50, inserts_per_round=2, deletes_per_round=1, seed=2),
+            n=12,
+            strict_bandwidth=False,
+        )
+        network = result.network
+        for v, node in result.nodes.items():
+            for u in node.adj:
+                assert node.view.get(u, set()) == set(network.neighbors(u))
+
+    def test_rejects_unknown_query(self):
+        node = FullBroadcastNode(0, 4)
+        with pytest.raises(TypeError):
+            node.query(object())
+
+    def test_edge_query(self):
+        result, _ = run_simulation(
+            FullBroadcastNode,
+            RandomChurnAdversary(8, num_rounds=30, inserts_per_round=1, deletes_per_round=0, seed=3),
+            n=8,
+            strict_bandwidth=False,
+        )
+        network = result.network
+        node0 = result.nodes[0]
+        for u in list(node0.adj)[:3]:
+            for w in network.neighbors(u):
+                if w != 0:
+                    assert node0.query(EdgeQuery(u, w)) is QueryResult.TRUE

@@ -1,0 +1,86 @@
+"""Tests for the GroundTruthOracle (snapshot bookkeeping and reference queries)."""
+
+import pytest
+
+from repro.oracle import GroundTruthOracle
+from repro.simulator import DynamicNetwork, RoundChanges
+
+
+def build_oracle():
+    """A small history: a triangle appears over three rounds, then loses an edge."""
+    network = DynamicNetwork(5)
+    oracle = GroundTruthOracle(5)
+    network.apply_changes(1, RoundChanges.inserts([(0, 1)]))
+    oracle.observe(network)
+    network.apply_changes(2, RoundChanges.inserts([(1, 2)]))
+    oracle.observe(network)
+    network.apply_changes(3, RoundChanges.inserts([(0, 2)]))
+    oracle.observe(network)
+    network.apply_changes(5, RoundChanges.deletes([(1, 2)]))
+    oracle.observe(network)
+    return oracle
+
+
+class TestSnapshots:
+    def test_round_zero_is_empty(self):
+        oracle = GroundTruthOracle(4)
+        assert oracle.edges_at(0) == frozenset()
+
+    def test_latest_round_tracking(self):
+        oracle = build_oracle()
+        assert oracle.latest_round == 5
+        assert oracle.edges_at() == frozenset({(0, 1), (0, 2)})
+
+    def test_historic_rounds(self):
+        oracle = build_oracle()
+        assert oracle.edges_at(1) == frozenset({(0, 1)})
+        assert oracle.edges_at(3) == frozenset({(0, 1), (0, 2), (1, 2)})
+
+    def test_unobserved_round_falls_back_to_previous(self):
+        oracle = build_oracle()
+        # Round 4 was quiet/unobserved: the round-3 snapshot applies.
+        assert oracle.edges_at(4) == oracle.edges_at(3)
+
+    def test_round_before_history_raises(self):
+        oracle = GroundTruthOracle(4)
+        with pytest.raises(KeyError):
+            oracle.snapshot(-1)
+
+    def test_insertion_times_at_round(self):
+        oracle = build_oracle()
+        assert oracle.times_at(3)[(0, 2)] == 3
+        assert (1, 2) not in oracle.times_at(5)
+
+
+class TestReferenceQueries:
+    def test_subgraph_queries_current_and_past(self):
+        oracle = build_oracle()
+        assert oracle.is_triangle({0, 1, 2}, round_index=3)
+        assert not oracle.is_triangle({0, 1, 2}, round_index=5)
+        assert oracle.triangles_containing(0, round_index=3) == {frozenset({0, 1, 2})}
+        assert oracle.triangles_containing(0) == set()
+
+    def test_clique_and_cycle_queries(self):
+        oracle = build_oracle()
+        assert oracle.is_clique({0, 1}, round_index=1)
+        assert oracle.set_is_cycle({0, 1, 2}, round_index=3)
+        assert oracle.is_cycle_ordering((0, 1, 2), round_index=3)
+        assert not oracle.is_cycle_ordering((0, 1, 2), round_index=5)
+        assert oracle.cycles_of_length(3, round_index=3) == {frozenset({0, 1, 2})}
+
+    def test_robust_sets_at_round(self):
+        oracle = build_oracle()
+        # At round 3 the far edge (1,2) is older than (0,2) but newer than (0,1):
+        # robust for node 0 via endpoint 1.
+        assert (1, 2) in oracle.robust_two_hop(0, round_index=3)
+        assert (1, 2) in oracle.triangle_pattern_set(0, round_index=3)
+        assert (1, 2) in oracle.robust_three_hop(0, round_index=3)
+        assert oracle.khop_edges(0, 1, round_index=3) == frozenset({(0, 1), (0, 2)})
+
+    def test_validator_records_rounds(self):
+        network = DynamicNetwork(4)
+        oracle = GroundTruthOracle(4)
+        validator = oracle.validator()
+        network.apply_changes(1, RoundChanges.inserts([(0, 1)]))
+        validator(1, network, {})
+        assert oracle.edges_at(1) == frozenset({(0, 1)})

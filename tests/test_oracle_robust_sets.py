@@ -1,0 +1,142 @@
+"""Tests for the reference (centralized) robust-set computations.
+
+The scenarios are tiny and hand-computed from the definitions in the paper
+(Appendix A for R^{v,2}, Figure 2 for T^{v,2}, Figure 3 for R^{v,3}).
+"""
+
+from repro.oracle.robust_sets import (
+    adjacency,
+    khop_edges,
+    robust_three_hop,
+    robust_two_hop,
+    triangle_pattern_set,
+)
+
+
+def times_of(edges_with_times):
+    return {edge: t for edge, t in edges_with_times}
+
+
+class TestAdjacencyAndKHop:
+    def test_adjacency(self):
+        adj = adjacency([(0, 1), (1, 2)])
+        assert adj[1] == {0, 2}
+        assert adj[0] == {1}
+
+    def test_khop_edges_radius_one_is_incident_edges(self):
+        edges = [(0, 1), (1, 2), (2, 3)]
+        assert khop_edges(edges, 0, 1) == frozenset({(0, 1)})
+
+    def test_khop_edges_radius_two_touches_neighbors(self):
+        edges = [(0, 1), (1, 2), (2, 3), (3, 4)]
+        # Edges touching 0 or its neighbor 1: (0,1) and (1,2).  The edge (2,3)
+        # touches only nodes at distance 2 and is therefore excluded.
+        assert khop_edges(edges, 0, 2) == frozenset({(0, 1), (1, 2)})
+
+    def test_khop_edges_radius_three(self):
+        edges = [(0, 1), (1, 2), (2, 3), (3, 4)]
+        assert khop_edges(edges, 0, 3) == frozenset({(0, 1), (1, 2), (2, 3)})
+
+    def test_khop_edges_isolated_node(self):
+        assert khop_edges([(1, 2)], 0, 3) == frozenset()
+
+
+class TestRobustTwoHop:
+    def test_incident_edges_always_robust(self):
+        edges = [(0, 1)]
+        times = times_of([((0, 1), 5)])
+        assert robust_two_hop(edges, times, 0) == frozenset({(0, 1)})
+
+    def test_far_edge_newer_than_connection_is_robust(self):
+        # 0 - 1 inserted at round 1, far edge 1 - 2 at round 5: robust for 0.
+        edges = [(0, 1), (1, 2)]
+        times = times_of([((0, 1), 1), ((1, 2), 5)])
+        assert (1, 2) in robust_two_hop(edges, times, 0)
+
+    def test_far_edge_older_than_connection_is_not_robust(self):
+        edges = [(0, 1), (1, 2)]
+        times = times_of([((0, 1), 5), ((1, 2), 1)])
+        assert (1, 2) not in robust_two_hop(edges, times, 0)
+
+    def test_robust_via_either_endpoint(self):
+        # Triangle where the far edge is older than one connection but newer
+        # than the other: still robust (via the older connection).
+        edges = [(0, 1), (0, 2), (1, 2)]
+        times = times_of([((0, 1), 10), ((0, 2), 2), ((1, 2), 5)])
+        assert (1, 2) in robust_two_hop(edges, times, 0)
+
+    def test_distance_two_only(self):
+        # An edge at distance 2 (not touching a neighbor) is never included.
+        edges = [(0, 1), (1, 2), (2, 3)]
+        times = times_of([((0, 1), 1), ((1, 2), 2), ((2, 3), 9)])
+        assert (2, 3) not in robust_two_hop(edges, times, 0)
+
+
+class TestTrianglePatternSet:
+    def test_includes_robust_two_hop(self):
+        edges = [(0, 1), (1, 2)]
+        times = times_of([((0, 1), 1), ((1, 2), 5)])
+        assert triangle_pattern_set(edges, times, 0) >= robust_two_hop(edges, times, 0)
+
+    def test_pattern_b_old_far_edge_in_triangle(self):
+        # Far edge older than both connections, all three present: pattern (b).
+        edges = [(0, 1), (0, 2), (1, 2)]
+        times = times_of([((0, 1), 10), ((0, 2), 8), ((1, 2), 1)])
+        T = triangle_pattern_set(edges, times, 0)
+        assert (1, 2) in T
+        # ... but it is not in the plain robust 2-hop set.
+        assert (1, 2) not in robust_two_hop(edges, times, 0)
+
+    def test_old_far_edge_without_second_connection_excluded(self):
+        # Same ages but node 0 is connected to only one endpoint: not pattern
+        # (b), and not pattern (a) either.
+        edges = [(0, 1), (1, 2)]
+        times = times_of([((0, 1), 10), ((1, 2), 1)])
+        assert (1, 2) not in triangle_pattern_set(edges, times, 0)
+
+    def test_every_triangle_far_edge_is_in_pattern_set(self):
+        # Regardless of the time ordering, the far edge of a triangle must be
+        # in T^{v,2} (this is what makes triangle membership listing work).
+        import itertools
+
+        edges = [(0, 1), (0, 2), (1, 2)]
+        for perm in itertools.permutations([1, 2, 3]):
+            times = times_of(
+                [((0, 1), perm[0]), ((0, 2), perm[1]), ((1, 2), perm[2])]
+            )
+            assert (1, 2) in triangle_pattern_set(edges, times, 0), perm
+
+
+class TestRobustThreeHop:
+    def test_contains_robust_two_hop(self):
+        edges = [(0, 1), (1, 2), (2, 3)]
+        times = times_of([((0, 1), 1), ((1, 2), 3), ((2, 3), 5)])
+        assert robust_three_hop(edges, times, 0) >= robust_two_hop(edges, times, 0)
+
+    def test_three_hop_pattern_b(self):
+        # Path 0 - 1 - 2 - 3 where the farthest edge is newest: included.
+        edges = [(0, 1), (1, 2), (2, 3)]
+        times = times_of([((0, 1), 1), ((1, 2), 3), ((2, 3), 5)])
+        assert (2, 3) in robust_three_hop(edges, times, 0)
+
+    def test_three_hop_pattern_b_requires_newest_far_edge(self):
+        # Farthest edge older than the middle edge: excluded.
+        edges = [(0, 1), (1, 2), (2, 3)]
+        times = times_of([((0, 1), 1), ((1, 2), 5), ((2, 3), 3)])
+        assert (2, 3) not in robust_three_hop(edges, times, 0)
+
+    def test_three_hop_requires_simple_path(self):
+        # A "3-path" that revisits v is not a witness.
+        edges = [(0, 1), (1, 2), (0, 2)]
+        times = times_of([((0, 1), 1), ((1, 2), 2), ((0, 2), 3)])
+        r3 = robust_three_hop(edges, times, 0)
+        # (0, 2) is incident so included; (1, 2) is robust 2-hop; nothing else.
+        assert r3 == frozenset({(0, 1), (0, 2), (1, 2)})
+
+    def test_multiple_witnessing_paths(self):
+        # Two disjoint 2-hop routes to the same far edge: still included.
+        edges = [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]
+        times = times_of(
+            [((0, 1), 1), ((0, 2), 2), ((1, 3), 3), ((2, 3), 4), ((3, 4), 9)]
+        )
+        assert (3, 4) in robust_three_hop(edges, times, 0)

@@ -1,0 +1,103 @@
+"""Tests for the centralized subgraph enumeration oracle."""
+
+import itertools
+
+import networkx as nx
+import pytest
+
+from repro.oracle.subgraphs import (
+    all_triangles,
+    build_graph,
+    cliques_containing,
+    cycles_containing,
+    cycles_of_length,
+    is_clique,
+    is_cycle_ordering,
+    set_is_cycle,
+    triangles_containing,
+)
+
+
+K4_EDGES = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+C5_EDGES = [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]
+
+
+class TestTriangles:
+    def test_all_triangles_of_k4(self):
+        assert all_triangles(K4_EDGES) == {
+            frozenset(c) for c in itertools.combinations(range(4), 3)
+        }
+
+    def test_triangles_containing(self):
+        edges = [(0, 1), (0, 2), (1, 2), (2, 3)]
+        assert triangles_containing(edges, 0) == {frozenset({0, 1, 2})}
+        assert triangles_containing(edges, 3) == set()
+
+    def test_triangles_of_triangle_free_graph(self):
+        assert all_triangles(C5_EDGES) == set()
+
+    def test_matches_networkx_triangle_count(self):
+        graph = nx.gnp_random_graph(20, 0.3, seed=4)
+        edges = [tuple(sorted(e)) for e in graph.edges()]
+        expected_total = sum(nx.triangles(graph).values()) // 3
+        assert len(all_triangles(edges)) == expected_total
+
+
+class TestCliques:
+    def test_is_clique(self):
+        assert is_clique(K4_EDGES, [0, 1, 2, 3])
+        assert not is_clique(C5_EDGES, [0, 1, 2])
+
+    def test_cliques_containing(self):
+        assert cliques_containing(K4_EDGES, 0, 4) == {frozenset(range(4))}
+        assert cliques_containing(K4_EDGES, 0, 3) == {
+            frozenset(c) | {0} for c in itertools.combinations([1, 2, 3], 2)
+        }
+
+    def test_cliques_containing_low_degree_node(self):
+        assert cliques_containing([(0, 1)], 0, 3) == set()
+
+
+class TestCycles:
+    def test_cycles_of_length_four_in_k4(self):
+        # Cycles are reported as node sets; in K4 all 4-cycles share the same
+        # node set, and the three distinct orderings are all valid cycles.
+        assert cycles_of_length(K4_EDGES, 4) == {frozenset(range(4))}
+        assert is_cycle_ordering(K4_EDGES, (0, 1, 2, 3))
+        assert is_cycle_ordering(K4_EDGES, (0, 2, 1, 3))
+        assert is_cycle_ordering(K4_EDGES, (0, 1, 3, 2))
+
+    def test_cycles_of_length_five(self):
+        assert cycles_of_length(C5_EDGES, 5) == {frozenset(range(5))}
+        assert cycles_of_length(C5_EDGES, 4) == set()
+
+    def test_cycles_containing(self):
+        assert cycles_containing(C5_EDGES, 2, 5) == {frozenset(range(5))}
+
+    def test_is_cycle_ordering(self):
+        assert is_cycle_ordering(C5_EDGES, (0, 1, 2, 3, 4))
+        assert not is_cycle_ordering(C5_EDGES, (0, 2, 1, 3, 4))
+
+    def test_set_is_cycle(self):
+        assert set_is_cycle(C5_EDGES, range(5))
+        assert not set_is_cycle(C5_EDGES, [0, 1, 2, 3])
+        assert set_is_cycle(K4_EDGES, [0, 1, 2, 3])
+
+    def test_set_is_cycle_rejects_tiny_sets(self):
+        assert not set_is_cycle(K4_EDGES, [0, 1])
+
+    def test_cycle_enumeration_matches_networkx_cycle_basis_on_ring(self):
+        n = 7
+        ring = [(i, (i + 1) % n) for i in range(n)]
+        assert cycles_of_length(ring, n) == {frozenset(range(n))}
+        assert cycles_of_length(ring, n - 1) == set()
+
+
+class TestBuildGraph:
+    def test_isolated_nodes_included_when_n_given(self):
+        graph = build_graph([(0, 1)], n=5)
+        assert set(graph.nodes) == set(range(5))
+
+    def test_without_n_only_touched_nodes(self):
+        graph = build_graph([(0, 1)])
+        assert set(graph.nodes) == {0, 1}

@@ -1,0 +1,70 @@
+"""Tests for the query/answer dataclasses."""
+
+import pytest
+
+from repro.core.queries import (
+    CliqueQuery,
+    CycleQuery,
+    EdgeQuery,
+    QueryResult,
+    TriangleQuery,
+    TwoHopQuery,
+)
+
+
+class TestQueryResult:
+    def test_of_lifts_booleans(self):
+        assert QueryResult.of(True) is QueryResult.TRUE
+        assert QueryResult.of(False) is QueryResult.FALSE
+
+    def test_definite(self):
+        assert QueryResult.TRUE.is_definite
+        assert QueryResult.FALSE.is_definite
+        assert not QueryResult.INCONSISTENT.is_definite
+
+
+class TestEdgeQueries:
+    def test_edge_query_canonicalises(self):
+        assert EdgeQuery(5, 2).edge == (2, 5)
+        assert TwoHopQuery(5, 2).edge == (2, 5)
+
+    def test_edge_query_rejects_self_loop(self):
+        query = EdgeQuery(3, 3)
+        with pytest.raises(ValueError):
+            _ = query.edge
+
+
+class TestTriangleQuery:
+    def test_requires_three_distinct_nodes(self):
+        TriangleQuery({1, 2, 3})
+        TriangleQuery([3, 1, 2])
+        with pytest.raises(ValueError):
+            TriangleQuery({1, 2})
+        with pytest.raises(ValueError):
+            TriangleQuery([1, 2, 2])
+
+    def test_is_hashable_and_frozen(self):
+        assert TriangleQuery({1, 2, 3}) == TriangleQuery([3, 2, 1])
+        assert len({TriangleQuery({1, 2, 3}), TriangleQuery({3, 2, 1})}) == 1
+
+
+class TestCliqueQuery:
+    def test_requires_three_or_more(self):
+        assert CliqueQuery({1, 2, 3, 4}).k == 4
+        with pytest.raises(ValueError):
+            CliqueQuery({1, 2})
+
+
+class TestCycleQuery:
+    def test_edges_of_ordering(self):
+        query = CycleQuery((0, 1, 2, 3))
+        assert set(query.edges) == {(0, 1), (1, 2), (2, 3), (0, 3)}
+        assert query.k == 4
+
+    def test_requires_distinct_nodes(self):
+        with pytest.raises(ValueError):
+            CycleQuery((0, 1, 0, 2))
+
+    def test_requires_at_least_three(self):
+        with pytest.raises(ValueError):
+            CycleQuery((0, 1))

@@ -1,0 +1,152 @@
+"""Tests for the robust 2-hop neighborhood data structure (Theorem 7)."""
+
+import pytest
+
+from repro.adversary import FlickerTriangleAdversary, RandomChurnAdversary, ScriptedAdversary
+from repro.core import EdgeQuery, QueryResult, RobustTwoHopNode
+from repro.oracle import robust_two_hop
+
+from conftest import run_schedule, run_simulation
+
+
+def assert_equals_robust_set(result, scope="final graph"):
+    """The known edge set of every node must equal R^{v,2} of the final graph."""
+    network = result.network
+    times = network.insertion_times()
+    for v, node in result.nodes.items():
+        expected = robust_two_hop(network.edges, times, v)
+        assert node.known_edges() == expected, (
+            f"node {v} ({scope}): expected {sorted(expected)}, got {sorted(node.known_edges())}"
+        )
+
+
+class TestBasicScenarios:
+    def test_single_edge_insertion(self):
+        result, _ = run_schedule(RobustTwoHopNode, [([(0, 1)], [])], n=4)
+        assert result.nodes[0].knows_edge(0, 1)
+        assert result.nodes[1].knows_edge(0, 1)
+        assert not result.nodes[2].knows_edge(0, 1)
+        assert_equals_robust_set(result)
+
+    def test_two_hop_edge_learned_when_newer(self):
+        # 0-1 first, then 1-2: the far edge is newer, so 0 must learn it.
+        result, _ = run_schedule(RobustTwoHopNode, [([(0, 1)], []), ([(1, 2)], [])], n=4)
+        assert result.nodes[0].knows_edge(1, 2)
+        assert_equals_robust_set(result)
+
+    def test_two_hop_edge_not_learned_when_older(self):
+        # 1-2 first, then 0-1: the far edge is older, so it is *not* robust for 0.
+        result, _ = run_schedule(RobustTwoHopNode, [([(1, 2)], []), ([(0, 1)], [])], n=4)
+        assert not result.nodes[0].knows_edge(1, 2)
+        assert_equals_robust_set(result)
+
+    def test_same_round_insertions_are_robust(self):
+        result, _ = run_schedule(RobustTwoHopNode, [([(0, 1), (1, 2)], [])], n=4)
+        # Equal timestamps satisfy t_e >= t_{v,u}.
+        assert result.nodes[0].knows_edge(1, 2)
+        assert_equals_robust_set(result)
+
+    def test_far_edge_deletion_is_propagated(self):
+        result, _ = run_schedule(
+            RobustTwoHopNode,
+            [([(0, 1)], []), ([(1, 2)], []), None, ([], [(1, 2)])],
+            n=4,
+        )
+        assert not result.nodes[0].knows_edge(1, 2)
+        assert_equals_robust_set(result)
+
+    def test_connection_deletion_forgets_unsupported_edges(self):
+        # 0 learns 1-2 through 1; when 0-1 disappears the knowledge goes away.
+        result, _ = run_schedule(
+            RobustTwoHopNode,
+            [([(0, 1)], []), ([(1, 2)], []), None, ([], [(0, 1)])],
+            n=4,
+        )
+        assert not result.nodes[0].knows_edge(1, 2)
+        assert_equals_robust_set(result)
+
+    def test_edge_supported_via_second_endpoint_survives(self):
+        # 0 connects to both 1 and 2 before 1-2 appears; deleting 0-1 keeps
+        # the knowledge via 2.
+        result, _ = run_schedule(
+            RobustTwoHopNode,
+            [([(0, 1), (0, 2)], []), ([(1, 2)], []), None, ([], [(0, 1)])],
+            n=4,
+        )
+        assert result.nodes[0].knows_edge(1, 2)
+        assert_equals_robust_set(result)
+
+    def test_reinsertion_refreshes_robustness(self):
+        # The far edge is deleted and re-inserted after the connection: robust again.
+        result, _ = run_schedule(
+            RobustTwoHopNode,
+            [
+                ([(1, 2)], []),
+                ([(0, 1)], []),
+                None,
+                ([], [(1, 2)]),
+                None,
+                ([(1, 2)], []),
+            ],
+            n=4,
+        )
+        assert result.nodes[0].knows_edge(1, 2)
+        assert_equals_robust_set(result)
+
+
+class TestFlickeringAdversary:
+    def test_flicker_does_not_leave_ghost_edges(self):
+        """The Section 1.3 bad case: the robust structure must forget {u, w}."""
+        adversary = FlickerTriangleAdversary()
+        result, _ = run_simulation(RobustTwoHopNode, adversary, n=9)
+        v_node = result.nodes[adversary.v]
+        assert v_node.is_consistent()
+        assert not v_node.knows_edge(*adversary.doomed_edge)
+        assert_equals_robust_set(result)
+
+
+class TestQueries:
+    def test_query_semantics(self):
+        result, _ = run_schedule(RobustTwoHopNode, [([(0, 1)], []), ([(1, 2)], [])], n=4)
+        node0 = result.nodes[0]
+        assert node0.query(EdgeQuery(0, 1)) is QueryResult.TRUE
+        assert node0.query(EdgeQuery(1, 2)) is QueryResult.TRUE
+        assert node0.query(EdgeQuery(2, 3)) is QueryResult.FALSE
+
+    def test_inconsistent_while_queue_pending(self):
+        result, _ = run_schedule(
+            RobustTwoHopNode,
+            [([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)], [])],
+            n=4,
+            drain=False,
+        )
+        # Right after a burst of 6 changes nobody can have drained their queue.
+        assert any(
+            node.query(EdgeQuery(0, 1)) is QueryResult.INCONSISTENT
+            for node in result.nodes.values()
+        )
+
+    def test_rejects_wrong_query_type(self):
+        node = RobustTwoHopNode(0, 4)
+        with pytest.raises(TypeError):
+            node.query("not a query")
+
+
+class TestAgainstOracleUnderChurn:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_reference_robust_set(self, seed):
+        result, _ = run_simulation(
+            RobustTwoHopNode,
+            RandomChurnAdversary(16, num_rounds=120, inserts_per_round=3, deletes_per_round=2, seed=seed),
+            n=16,
+        )
+        assert_equals_robust_set(result)
+
+    def test_amortized_complexity_is_constant(self):
+        result, _ = run_simulation(
+            RobustTwoHopNode,
+            RandomChurnAdversary(20, num_rounds=200, inserts_per_round=3, deletes_per_round=2, seed=9),
+            n=20,
+        )
+        # Theorem 7: at most one inconsistent round per topology change.
+        assert result.metrics.max_running_amortized_complexity() <= 1.0 + 1e-9

@@ -1,0 +1,172 @@
+"""Tests for the robust 3-hop neighborhood data structure (Theorem 6)."""
+
+import pytest
+
+from repro.adversary import HeavyTailedChurnAdversary, RandomChurnAdversary
+from repro.core import EdgeQuery, QueryResult, RobustThreeHopNode
+from repro.oracle import khop_edges, robust_three_hop, robust_two_hop
+
+from conftest import run_schedule, run_simulation
+
+
+def assert_sandwich(result):
+    """Check the Theorem 6 guarantee on the final (drained) graph.
+
+    After draining, rounds ``i`` and ``i-1`` have the same graph, so the
+    guarantee collapses to ``R^{v,3} ⊆ known ⊆ E^{v,3}``.
+    """
+    network = result.network
+    times = network.insertion_times()
+    for v, node in result.nodes.items():
+        known = node.known_edges()
+        lower = robust_three_hop(network.edges, times, v)
+        upper = khop_edges(network.edges, v, 3)
+        assert lower <= known, f"node {v} missing {sorted(lower - known)}"
+        assert known <= upper, f"node {v} has ghost edges {sorted(known - upper)}"
+
+
+class TestScriptedScenarios:
+    def test_three_hop_edge_learned_when_newest(self):
+        # Path 0-1-2-3 built inwards-out: the farthest edge is newest.
+        result, _ = run_schedule(
+            RobustThreeHopNode,
+            [([(0, 1)], []), ([(1, 2)], []), ([(2, 3)], [])],
+            n=5,
+        )
+        assert result.nodes[0].knows_edge(2, 3)
+        assert_sandwich(result)
+
+    def test_three_hop_edge_not_required_when_old(self):
+        # The far edge is the oldest: it is not in the robust 3-hop set, and the
+        # upper bound still has to hold.
+        result, _ = run_schedule(
+            RobustThreeHopNode,
+            [([(2, 3)], []), ([(1, 2)], []), ([(0, 1)], [])],
+            n=5,
+        )
+        assert_sandwich(result)
+
+    def test_two_hop_part_behaves_like_theorem7(self):
+        result, _ = run_schedule(
+            RobustThreeHopNode, [([(0, 1)], []), ([(1, 2)], [])], n=4
+        )
+        assert result.nodes[0].knows_edge(1, 2)
+        assert result.nodes[0].knows_edge(0, 1)
+        assert_sandwich(result)
+
+    def test_far_edge_deletion_propagates_two_hops(self):
+        result, _ = run_schedule(
+            RobustThreeHopNode,
+            [([(0, 1)], []), ([(1, 2)], []), ([(2, 3)], []), None, None, ([], [(2, 3)])],
+            n=5,
+        )
+        assert not result.nodes[0].knows_edge(2, 3)
+        assert_sandwich(result)
+
+    def test_cutting_the_path_removes_downstream_knowledge(self):
+        result, _ = run_schedule(
+            RobustThreeHopNode,
+            [([(0, 1)], []), ([(1, 2)], []), ([(2, 3)], []), None, None, ([], [(1, 2)])],
+            n=5,
+        )
+        # With 1-2 gone, the edge 2-3 is no longer in node 0's 3-hop
+        # neighborhood at all, so it must not be reported.
+        assert not result.nodes[0].knows_edge(2, 3)
+        assert_sandwich(result)
+
+    def test_multiple_paths_keep_edge_alive(self):
+        # Two routes to the same far edge; cutting one keeps the other.
+        result, _ = run_schedule(
+            RobustThreeHopNode,
+            [
+                ([(0, 1), (0, 2)], []),
+                ([(1, 3), (2, 3)], []),
+                ([(3, 4)], []),
+                None,
+                None,
+                ([], [(0, 1)]),
+            ],
+            n=6,
+        )
+        assert result.nodes[0].knows_edge(3, 4)
+        assert_sandwich(result)
+
+    def test_incident_edges_always_known(self):
+        result, _ = run_schedule(RobustThreeHopNode, [([(0, 1), (0, 2)], [])], n=4)
+        assert result.nodes[0].knows_edge(0, 1)
+        assert result.nodes[0].knows_edge(0, 2)
+        assert not result.nodes[0].knows_edge(1, 2)
+
+
+class TestQueries:
+    def test_query_semantics(self):
+        result, _ = run_schedule(
+            RobustThreeHopNode,
+            [([(0, 1)], []), ([(1, 2)], []), ([(2, 3)], [])],
+            n=5,
+        )
+        node0 = result.nodes[0]
+        assert node0.query(EdgeQuery(2, 3)) is QueryResult.TRUE
+        assert node0.query(EdgeQuery(3, 4)) is QueryResult.FALSE
+
+    def test_inconsistent_during_burst(self):
+        result, _ = run_schedule(
+            RobustThreeHopNode,
+            [([(0, 1), (1, 2), (2, 3), (0, 3), (1, 3)], [])],
+            n=5,
+            drain=False,
+        )
+        assert any(
+            node.query(EdgeQuery(0, 1)) is QueryResult.INCONSISTENT
+            for node in result.nodes.values()
+        )
+
+    def test_two_round_consistency_rule(self):
+        """A node stays inconsistent for one extra round after its queues empty."""
+        result, _ = run_schedule(
+            RobustThreeHopNode,
+            [([(0, 1)], [])],
+            n=3,
+            drain=False,
+        )
+        # Round 1 only: the endpoints enqueued and immediately announced, but
+        # the two-round rule keeps them inconsistent at the end of round 1.
+        assert not result.nodes[0].is_consistent()
+
+    def test_rejects_wrong_query_type(self):
+        node = RobustThreeHopNode(0, 4)
+        with pytest.raises(TypeError):
+            node.query(object())
+
+
+class TestAgainstOracleUnderChurn:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_sandwich_under_random_churn(self, seed):
+        result, _ = run_simulation(
+            RobustThreeHopNode,
+            RandomChurnAdversary(
+                13, num_rounds=90, inserts_per_round=3, deletes_per_round=2, seed=seed
+            ),
+            n=13,
+        )
+        assert_sandwich(result)
+
+    def test_sandwich_under_heavy_tailed_churn(self):
+        result, _ = run_simulation(
+            RobustThreeHopNode,
+            HeavyTailedChurnAdversary(14, num_rounds=100, seed=2),
+            n=14,
+        )
+        assert_sandwich(result)
+
+    def test_amortized_complexity_is_constant(self):
+        result, _ = run_simulation(
+            RobustThreeHopNode,
+            RandomChurnAdversary(
+                14, num_rounds=150, inserts_per_round=3, deletes_per_round=2, seed=8
+            ),
+            n=14,
+        )
+        # Theorem 6's accounting gives a small constant (3 enqueue rounds per
+        # change, plus the two-round consistency rule).
+        assert result.metrics.max_running_amortized_complexity() <= 4.0 + 1e-9

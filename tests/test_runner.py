@@ -1,0 +1,120 @@
+"""Tests for the simulation runner: drain behaviour, validators, trace recording."""
+
+import pytest
+
+from repro.adversary import ScriptedAdversary
+from repro.core import RobustTwoHopNode, TriangleMembershipNode
+from repro.simulator import (
+    RoundChanges,
+    SimulationRunner,
+    TopologyTrace,
+    TraceReplayAdversary,
+)
+
+
+class TestRun:
+    def test_drain_reaches_consistency(self):
+        runner = SimulationRunner(
+            n=6,
+            algorithm_factory=TriangleMembershipNode,
+            adversary=ScriptedAdversary.single_batch(insert=[(0, 1), (1, 2), (0, 2)]),
+        )
+        result = runner.run()
+        assert runner.engine.all_consistent
+        assert all(node.is_consistent() for node in result.nodes.values())
+
+    def test_no_drain_can_leave_inconsistent_nodes(self):
+        runner = SimulationRunner(
+            n=6,
+            algorithm_factory=TriangleMembershipNode,
+            adversary=ScriptedAdversary.single_batch(
+                insert=[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]
+            ),
+        )
+        result = runner.run(drain=False)
+        # Right after the burst, the queues cannot all be empty.
+        assert any(not node.is_consistent() for node in result.nodes.values())
+
+    def test_num_rounds_limits_adversary(self):
+        adversary = ScriptedAdversary([RoundChanges.inserts([(i, i + 1)]) for i in range(5)])
+        runner = SimulationRunner(n=8, algorithm_factory=RobustTwoHopNode, adversary=adversary)
+        result = runner.run(num_rounds=2)
+        # Only the first two batches were applied (plus drain rounds).
+        assert result.metrics.total_changes == 2
+
+    def test_summary_merges_bandwidth(self):
+        runner = SimulationRunner(
+            n=5,
+            algorithm_factory=RobustTwoHopNode,
+            adversary=ScriptedAdversary.single_batch(insert=[(0, 1)]),
+        )
+        summary = runner.run().summary()
+        assert "amortized_round_complexity" in summary
+        assert "bandwidth_budget_bits" in summary
+
+
+class TestValidators:
+    def test_validators_run_every_round(self):
+        seen = []
+
+        def validator(round_index, network, nodes):
+            seen.append(round_index)
+
+        runner = SimulationRunner(
+            n=4,
+            algorithm_factory=RobustTwoHopNode,
+            adversary=ScriptedAdversary([RoundChanges.inserts([(0, 1)]), None]),
+            validators=[validator],
+        )
+        runner.run()
+        assert seen and seen == sorted(seen)
+
+    def test_validator_failure_propagates(self):
+        def validator(round_index, network, nodes):
+            raise AssertionError("boom")
+
+        runner = SimulationRunner(
+            n=4,
+            algorithm_factory=RobustTwoHopNode,
+            adversary=ScriptedAdversary([RoundChanges.inserts([(0, 1)])]),
+            validators=[validator],
+        )
+        with pytest.raises(AssertionError):
+            runner.run()
+
+
+class TestTrace:
+    def test_trace_recording_and_replay_equivalence(self, tmp_path):
+        adversary = ScriptedAdversary(
+            [
+                RoundChanges.inserts([(0, 1), (1, 2)]),
+                RoundChanges.of(insert=[(0, 2)], delete=[(0, 1)]),
+                None,
+            ]
+        )
+        runner = SimulationRunner(
+            n=5, algorithm_factory=RobustTwoHopNode, adversary=adversary, record_trace=True
+        )
+        first = runner.run()
+        assert first.trace is not None
+        path = tmp_path / "trace.json"
+        first.trace.save(path)
+        replay_trace = TopologyTrace.load(path)
+        assert replay_trace.total_changes == first.trace.total_changes
+
+        replay_runner = SimulationRunner(
+            n=5,
+            algorithm_factory=RobustTwoHopNode,
+            adversary=TraceReplayAdversary(replay_trace),
+        )
+        second = replay_runner.run()
+        assert second.network.edges == first.network.edges
+        assert second.metrics.total_changes == first.metrics.total_changes
+
+    def test_trace_round_access(self):
+        trace = TopologyTrace(n=4)
+        trace.append(RoundChanges.of(insert=[(0, 1)], delete=[]))
+        trace.append(RoundChanges.of(insert=[], delete=[(0, 1)]))
+        assert trace.num_rounds == 2
+        assert trace.changes_for(0).insertions == [(0, 1)]
+        assert trace.changes_for(1).deletions == [(0, 1)]

@@ -1,0 +1,203 @@
+"""Tests for triangle membership listing (Theorem 1)."""
+
+import itertools
+
+import pytest
+
+from repro.adversary import FlickerTriangleAdversary, RandomChurnAdversary
+from repro.core import EdgeQuery, QueryResult, TriangleMembershipNode, TriangleQuery
+from repro.oracle import triangle_pattern_set, triangles_containing
+
+from conftest import run_schedule, run_simulation
+
+
+def assert_equals_pattern_set(result):
+    """Every node's known edges must equal T^{v,2} (Figure 2) of the final graph."""
+    network = result.network
+    times = network.insertion_times()
+    for v, node in result.nodes.items():
+        expected = triangle_pattern_set(network.edges, times, v)
+        assert node.known_edges() == expected, (
+            f"node {v}: expected {sorted(expected)}, got {sorted(node.known_edges())}"
+        )
+
+
+def assert_all_triangles_known(result):
+    """Every node must know exactly the triangles it belongs to."""
+    network = result.network
+    for v, node in result.nodes.items():
+        assert node.known_triangles() == triangles_containing(network.edges, v)
+
+
+class TestInsertionOrders:
+    @pytest.mark.parametrize("order", list(itertools.permutations([(0, 1), (0, 2), (1, 2)])))
+    def test_triangle_membership_for_every_insertion_order(self, order):
+        """All 3! edge insertion orders must make all three nodes aware (Section 1.3)."""
+        schedule = [([edge], []) for edge in order]
+        result, _ = run_schedule(TriangleMembershipNode, schedule, n=4)
+        triangle = frozenset({0, 1, 2})
+        for v in triangle:
+            answer = result.nodes[v].query(TriangleQuery(triangle))
+            assert answer is QueryResult.TRUE, f"node {v} missed the triangle for order {order}"
+        assert_equals_pattern_set(result)
+
+    @pytest.mark.parametrize("order", list(itertools.permutations([(0, 1), (0, 2), (1, 2)])))
+    def test_far_edge_deletion_forgotten_for_every_order(self, order):
+        """After deleting the far edge (1,2), node 0 must answer FALSE."""
+        schedule = [([edge], []) for edge in order] + [None, ([], [(1, 2)])]
+        result, _ = run_schedule(TriangleMembershipNode, schedule, n=4)
+        assert result.nodes[0].query(TriangleQuery({0, 1, 2})) is QueryResult.FALSE
+        assert_equals_pattern_set(result)
+
+
+class TestMembershipSemantics:
+    def test_non_triangle_is_false(self):
+        result, _ = run_schedule(TriangleMembershipNode, [([(0, 1), (1, 2)], [])], n=4)
+        assert result.nodes[1].query(TriangleQuery({0, 1, 2})) is QueryResult.FALSE
+
+    def test_query_must_contain_the_node(self):
+        result, _ = run_schedule(TriangleMembershipNode, [([(0, 1)], [])], n=5)
+        with pytest.raises(ValueError):
+            result.nodes[4].query(TriangleQuery({0, 1, 2}))
+
+    def test_edge_query_reports_pattern_set(self):
+        result, _ = run_schedule(
+            TriangleMembershipNode, [([(0, 1)], []), ([(1, 2)], [])], n=4
+        )
+        assert result.nodes[0].query(EdgeQuery(1, 2)) is QueryResult.TRUE
+        assert result.nodes[0].query(EdgeQuery(2, 3)) is QueryResult.FALSE
+
+    def test_inconsistent_during_burst(self):
+        result, _ = run_schedule(
+            TriangleMembershipNode,
+            [([(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (2, 3)], [])],
+            n=4,
+            drain=False,
+        )
+        assert any(
+            node.query(TriangleQuery({0, 1, 2})) is QueryResult.INCONSISTENT
+            for v, node in result.nodes.items()
+            if v in {0, 1, 2}
+        )
+
+    def test_rejects_wrong_query_type(self):
+        node = TriangleMembershipNode(0, 4)
+        with pytest.raises(TypeError):
+            node.query(42)
+
+
+class TestDeletionsAndRewiring:
+    def test_vertex_detachment_removes_triangles(self):
+        # Build a triangle then cut node 0 off entirely.
+        result, _ = run_schedule(
+            TriangleMembershipNode,
+            [
+                ([(0, 1), (0, 2), (1, 2)], []),
+                None,
+                ([], [(0, 1), (0, 2)]),
+            ],
+            n=4,
+        )
+        assert result.nodes[0].known_triangles() == set()
+        assert result.nodes[1].known_triangles() == set()
+        assert_equals_pattern_set(result)
+
+    def test_triangle_reappears_after_reinsertion(self):
+        result, _ = run_schedule(
+            TriangleMembershipNode,
+            [
+                ([(0, 1), (0, 2), (1, 2)], []),
+                None,
+                ([], [(1, 2)]),
+                None,
+                ([(1, 2)], []),
+            ],
+            n=4,
+        )
+        for v in (0, 1, 2):
+            assert result.nodes[v].query(TriangleQuery({0, 1, 2})) is QueryResult.TRUE
+        assert_all_triangles_known(result)
+
+    def test_two_triangles_sharing_an_edge(self):
+        result, _ = run_schedule(
+            TriangleMembershipNode,
+            [
+                ([(0, 1)], []),
+                ([(1, 2), (1, 3)], []),
+                ([(0, 2), (0, 3)], []),
+            ],
+            n=5,
+        )
+        assert result.nodes[2].query(TriangleQuery({0, 1, 2})) is QueryResult.TRUE
+        assert result.nodes[3].query(TriangleQuery({0, 1, 3})) is QueryResult.TRUE
+        assert_all_triangles_known(result)
+
+
+class TestFlickeringAdversary:
+    def test_flicker_handled_correctly(self):
+        """The Section 1.3 schedule must not fool the timestamped structure."""
+        adversary = FlickerTriangleAdversary()
+        result, _ = run_simulation(TriangleMembershipNode, adversary, n=9)
+        v, u, w = adversary.v, adversary.u, adversary.w
+        node_v = result.nodes[v]
+        assert node_v.is_consistent()
+        assert node_v.query(TriangleQuery({v, u, w})) is QueryResult.FALSE
+        assert_equals_pattern_set(result)
+
+
+class TestAgainstOracleUnderChurn:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_pattern_set_and_triangles(self, seed):
+        result, _ = run_simulation(
+            TriangleMembershipNode,
+            RandomChurnAdversary(
+                16, num_rounds=150, inserts_per_round=3, deletes_per_round=2, seed=seed
+            ),
+            n=16,
+        )
+        assert_equals_pattern_set(result)
+        assert_all_triangles_known(result)
+
+    def test_amortized_complexity_is_constant(self):
+        result, _ = run_simulation(
+            TriangleMembershipNode,
+            RandomChurnAdversary(
+                20, num_rounds=250, inserts_per_round=3, deletes_per_round=2, seed=11
+            ),
+            n=20,
+        )
+        # Theorem 1's accounting gives at most 3 inconsistent rounds per change.
+        assert result.metrics.max_running_amortized_complexity() <= 3.0 + 1e-9
+
+    def test_no_false_positives_even_when_only_locally_consistent(self):
+        """A TRUE answer from a consistent node is always a real triangle.
+
+        Checked at every round, not just after draining.
+        """
+        from repro.oracle import GroundTruthOracle
+        from repro.core import TriangleQuery
+
+        n = 12
+        oracle = GroundTruthOracle(n)
+
+        def validator(round_index, network, nodes):
+            oracle.observe(network)
+            edges = network.edges
+            for v, node in nodes.items():
+                if not node.is_consistent():
+                    continue
+                for tri in node.known_triangles():
+                    a, b, c = sorted(tri)
+                    assert (
+                        network.has_edge(a, b)
+                        and network.has_edge(a, c)
+                        and network.has_edge(b, c)
+                    ), f"round {round_index}: node {v} believes in ghost triangle {tri}"
+
+        result, _ = run_simulation(
+            TriangleMembershipNode,
+            RandomChurnAdversary(n, num_rounds=120, inserts_per_round=3, deletes_per_round=2, seed=5),
+            n=n,
+            validators=[validator],
+            with_oracle=False,
+        )

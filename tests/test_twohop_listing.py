@@ -1,0 +1,129 @@
+"""Tests for the Lemma 1 baseline (full 2-hop neighborhood listing)."""
+
+import pytest
+
+from repro.adversary import RandomChurnAdversary, ScriptedAdversary
+from repro.core import (
+    HMembershipQuery,
+    QueryResult,
+    TriangleQuery,
+    TwoHopListingNode,
+    TwoHopQuery,
+)
+from repro.core.membership import PATTERNS
+from repro.oracle import khop_edges
+
+from conftest import run_schedule, run_simulation
+
+
+def assert_full_two_hop(result):
+    """The node's knowledge must equal the full 2-hop neighborhood E^{v,2}."""
+    network = result.network
+    for v, node in result.nodes.items():
+        expected = khop_edges(network.edges, v, 2)
+        assert node.known_edges() == expected, (
+            f"node {v}: missing {sorted(expected - node.known_edges())}, "
+            f"extra {sorted(node.known_edges() - expected)}"
+        )
+
+
+class TestBasics:
+    def test_learns_full_neighborhood_of_new_neighbor(self):
+        # Node 1 already has neighbors 2, 3; when 0 connects it must learn them all,
+        # including the OLD edges (which the robust structures deliberately skip).
+        result, _ = run_schedule(
+            TwoHopListingNode,
+            [([(1, 2), (1, 3)], []), None, ([(0, 1)], [])],
+            n=6,
+        )
+        node0 = result.nodes[0]
+        assert node0.query(TwoHopQuery(1, 2)) is QueryResult.TRUE
+        assert node0.query(TwoHopQuery(1, 3)) is QueryResult.TRUE
+        assert_full_two_hop(result)
+
+    def test_incremental_updates_after_snapshot(self):
+        result, _ = run_schedule(
+            TwoHopListingNode,
+            [([(0, 1)], []), None, ([(1, 2)], []), None, ([(1, 3)], []), ([], [(1, 2)])],
+            n=6,
+        )
+        node0 = result.nodes[0]
+        assert node0.query(TwoHopQuery(1, 3)) is QueryResult.TRUE
+        assert node0.query(TwoHopQuery(1, 2)) is QueryResult.FALSE
+        assert_full_two_hop(result)
+
+    def test_losing_a_neighbor_forgets_its_neighborhood(self):
+        result, _ = run_schedule(
+            TwoHopListingNode,
+            [([(1, 2), (1, 3)], []), None, ([(0, 1)], []), None, ([], [(0, 1)])],
+            n=6,
+        )
+        assert result.nodes[0].query(TwoHopQuery(1, 2)) is QueryResult.FALSE
+        assert_full_two_hop(result)
+
+    def test_triangle_and_pattern_queries(self):
+        result, _ = run_schedule(
+            TwoHopListingNode,
+            [([(0, 1), (0, 2), (1, 2), (1, 3)], [])],
+            n=6,
+        )
+        node0 = result.nodes[0]
+        assert node0.query(TriangleQuery({0, 1, 2})) is QueryResult.TRUE
+        # P3 membership: 0 is the middle of the path 1 - 0 - 2.
+        query = HMembershipQuery(PATTERNS["P3"], (1, 0, 2))
+        assert node0.query(query) is QueryResult.TRUE
+        missing = HMembershipQuery(PATTERNS["P4"], (3, 1, 0, 4))
+        assert node0.query(missing) is QueryResult.FALSE
+
+    def test_rejects_unknown_query(self):
+        node = TwoHopListingNode(0, 4)
+        with pytest.raises(TypeError):
+            node.query(1.5)
+
+    def test_chunking_respects_bandwidth(self):
+        """Snapshot chunks must fit the default O(log n) budget even for larger n."""
+        result, _ = run_simulation(
+            TwoHopListingNode,
+            RandomChurnAdversary(40, num_rounds=30, inserts_per_round=2, deletes_per_round=1, seed=0),
+            n=40,
+        )
+        # strict bandwidth is the default: reaching here means no violation.
+        assert result.bandwidth.num_violations == 0
+
+
+class TestAgainstOracleUnderChurn:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_full_two_hop_neighborhood(self, seed):
+        result, _ = run_simulation(
+            TwoHopListingNode,
+            RandomChurnAdversary(
+                14, num_rounds=80, inserts_per_round=3, deletes_per_round=2, seed=seed
+            ),
+            n=14,
+        )
+        assert_full_two_hop(result)
+
+    def test_amortized_cost_grows_with_n(self):
+        """Lemma 1 pays Theta(n / log n): the cost per change grows with n.
+
+        A growing star forces ever larger neighborhood snapshots; with the
+        adversary waiting for stabilization between insertions (as the
+        amortized measure allows), the per-change cost must grow markedly with
+        ``n`` -- the qualitative separation from the robust structures, whose
+        amortized complexity stays constant (checked in their own tests).
+        """
+        from repro.adversary import WAIT_FOR_STABILITY, ScheduleAdversary
+        from repro.simulator import RoundChanges
+
+        def star_schedule(n):
+            for i in range(1, n):
+                yield RoundChanges.inserts([(0, i)])
+                yield WAIT_FOR_STABILITY
+
+        costs = {}
+        for n in (16, 64):
+            result, _ = run_simulation(
+                TwoHopListingNode, ScheduleAdversary(star_schedule(n)), n=n
+            )
+            costs[n] = result.amortized_round_complexity
+        assert costs[64] > 2 * costs[16]

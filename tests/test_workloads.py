@@ -1,0 +1,77 @@
+"""Tests for the canned workload generators."""
+
+from repro.oracle.subgraphs import is_clique, set_is_cycle
+from repro.simulator import DynamicNetwork
+from repro.simulator.adversary import AdversaryView
+from repro.workloads import (
+    flip_flop_edges,
+    growing_random_graph,
+    planted_clique_churn,
+    planted_cycle_churn,
+)
+
+
+def replay(adversary, n):
+    """Replay a scripted workload, recording the graph after every round."""
+    network = DynamicNetwork(n)
+    snapshots = []
+    while not adversary.is_done:
+        view = AdversaryView.from_network(network, network.round_index + 1, True)
+        changes = adversary.changes_for_round(view)
+        if changes is None:
+            break
+        network.apply_changes(network.round_index + 1, changes)
+        snapshots.append(network.edges)
+    return network, snapshots
+
+
+class TestPlantedCliques:
+    def test_each_plant_is_fully_present_at_some_point(self):
+        adversary, plants = planted_clique_churn(12, 4, num_plants=3, seed=2)
+        _, snapshots = replay(adversary, 12)
+        for clique in plants:
+            assert any(is_clique(edges, clique) for edges in snapshots), clique
+
+    def test_deterministic(self):
+        a1, p1 = planted_clique_churn(10, 3, num_plants=2, seed=7)
+        a2, p2 = planted_clique_churn(10, 3, num_plants=2, seed=7)
+        assert p1 == p2
+        n1, _ = replay(a1, 10)
+        n2, _ = replay(a2, 10)
+        assert n1.edges == n2.edges
+
+    def test_k_larger_than_n_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            planted_clique_churn(3, 5, num_plants=1)
+
+
+class TestPlantedCycles:
+    def test_each_cycle_is_present_at_some_point(self):
+        adversary, plants = planted_cycle_churn(12, 5, num_plants=2, seed=3)
+        _, snapshots = replay(adversary, 12)
+        for cycle in plants:
+            assert any(set_is_cycle(edges, cycle) for edges in snapshots), cycle
+
+    def test_cycles_eventually_removed(self):
+        adversary, plants = planted_cycle_churn(10, 4, num_plants=1, seed=0)
+        network, _ = replay(adversary, 10)
+        assert network.num_edges == 0
+
+
+class TestGrowingAndFlipFlop:
+    def test_growing_random_graph_reaches_target(self):
+        adversary = growing_random_graph(15, 25, edges_per_round=2, seed=1)
+        network, snapshots = replay(adversary, 15)
+        assert network.num_edges == 25
+        # Monotone growth.
+        sizes = [len(s) for s in snapshots]
+        assert sizes == sorted(sizes)
+
+    def test_flip_flop_returns_to_empty(self):
+        adversary = flip_flop_edges([(0, 1), (1, 2)], repetitions=3, gap_rounds=2)
+        network, snapshots = replay(adversary, 5)
+        assert network.num_edges == 0
+        # The edges were present during each repetition.
+        assert sum(1 for s in snapshots if (0, 1) in s) >= 3
