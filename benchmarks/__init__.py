@@ -1,0 +1,7 @@
+"""Benchmark harness package (one module per experiment of EXPERIMENTS.md).
+
+Making this directory a package gives its ``conftest.py`` the import name
+``benchmarks.conftest``, so it can never shadow the top-level ``conftest``
+module of the tier-1 test-suite under ``tests/`` (which bench modules used to
+collide with when pytest collected both directories from the repo root).
+"""

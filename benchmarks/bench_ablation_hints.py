@@ -18,7 +18,7 @@ from repro.adversary import RandomChurnAdversary, ScriptedAdversary
 from repro.core import HintFreeTriangleNode, TriangleMembershipNode
 from repro.oracle import triangles_containing
 
-from conftest import emit_table, run_experiment
+from benchmarks.harness import emit_table, run_experiment
 
 
 def _membership_recall_over_orders(factory):

@@ -14,7 +14,7 @@ from repro.core import CliqueMembershipNode
 from repro.oracle import cliques_containing
 from repro.workloads import planted_clique_churn
 
-from conftest import emit_table, run_experiment
+from benchmarks.harness import emit_table, run_experiment
 
 KS = [3, 4, 5]
 N = 24

@@ -8,81 +8,75 @@ fraction of ``E^{v,2}`` covered by ``R^{v,2}`` and ``T^{v,2}``, and of
 and under heavy-tailed P2P churn.  (No paper table corresponds to this; it is
 the quantitative companion of Figures 2 and 3 and of the Section 2 discussion
 of why the full 2-hop neighborhood is unaffordable.)
+
+Each workload is one cell of a campaign running the ``null`` algorithm (which
+just realizes the schedule on the ground-truth network) with the ``coverage``
+end-of-run check computing the ratios centrally.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.adversary import HeavyTailedChurnAdversary, RandomChurnAdversary
-from repro.oracle import GroundTruthOracle, khop_edges, robust_three_hop, robust_two_hop, triangle_pattern_set
-from repro.simulator import DynamicNetwork
-from repro.simulator.adversary import AdversaryView
+from repro.experiments import CampaignRunner, CampaignSpec, ExperimentSpec, ResultStore, run_cell
 
-from conftest import emit_table
+from benchmarks.harness import RESULTS_DIR, emit_table
 
 N = 24
 
-
-def _realize(adversary, n):
-    """Drive an adversary on a bare network (no algorithm) and return the final state."""
-    network = DynamicNetwork(n)
-    while not adversary.is_done:
-        view = AdversaryView.from_network(network, network.round_index + 1, True)
-        changes = adversary.changes_for_round(view)
-        if changes is None:
-            break
-        network.apply_changes(network.round_index + 1, changes)
-    return network
-
-
-def _coverage(network):
-    times = network.insertion_times()
-    edges = network.edges
-    ratios = {"R2/E2": [], "T2/E2": [], "R3/E3": []}
-    for v in range(network.n):
-        e2 = khop_edges(edges, v, 2)
-        e3 = khop_edges(edges, v, 3)
-        if e2:
-            ratios["R2/E2"].append(len(robust_two_hop(edges, times, v)) / len(e2))
-            ratios["T2/E2"].append(len(triangle_pattern_set(edges, times, v)) / len(e2))
-        if e3:
-            ratios["R3/E3"].append(len(robust_three_hop(edges, times, v)) / len(e3))
-    return {key: sum(vals) / len(vals) for key, vals in ratios.items() if vals}
-
-
 WORKLOADS = [
-    ("uniform churn", lambda: RandomChurnAdversary(N, num_rounds=200, inserts_per_round=3, deletes_per_round=2, seed=0)),
-    ("insertion-heavy churn", lambda: RandomChurnAdversary(N, num_rounds=200, inserts_per_round=3, deletes_per_round=1, seed=1)),
-    ("p2p heavy-tailed churn", lambda: HeavyTailedChurnAdversary(N, num_rounds=200, seed=2)),
+    (
+        "uniform churn",
+        {"adversary": "churn", "adversary_params": {"inserts_per_round": 3, "deletes_per_round": 2}, "seed": 0},
+    ),
+    (
+        "insertion-heavy churn",
+        {"adversary": "churn", "adversary_params": {"inserts_per_round": 3, "deletes_per_round": 1}, "seed": 1},
+    ),
+    (
+        "p2p heavy-tailed churn",
+        {"adversary": "p2p", "adversary_params": {}, "seed": 2},
+    ),
 ]
 
+CAMPAIGN = CampaignSpec(
+    name="E11_robust_set_coverage",
+    base={"algorithm": "null", "n": N, "rounds": 200, "checks": ["coverage"]},
+    grid={"workload": [patch for _, patch in WORKLOADS]},
+)
 
-@pytest.mark.parametrize("label,make", WORKLOADS)
-def test_coverage(benchmark, label, make):
-    network = benchmark.pedantic(_realize, args=(make(), N), rounds=1, iterations=1)
-    coverage = _coverage(network)
+
+@pytest.mark.parametrize("label,patch", WORKLOADS)
+def test_coverage(benchmark, label, patch):
+    spec = ExperimentSpec.from_dict({**CAMPAIGN.base, **patch})
+    metrics, _ = benchmark.pedantic(run_cell, args=(spec,), rounds=1, iterations=1)
+    coverage = {k: v for k, v in metrics.items() if k.startswith("coverage_")}
     benchmark.extra_info.update({k: round(v, 3) for k, v in coverage.items()})
     # The robust sets always cover a meaningful fraction and never exceed 1.
+    assert coverage
     assert all(0 < ratio <= 1.0 + 1e-9 for ratio in coverage.values())
 
 
 def _emit_table_impl():
+    store = ResultStore(RESULTS_DIR / "campaign_E11_coverage")
+    report = CampaignRunner(CAMPAIGN, store).run(resume=False)
+    assert not report.failed, report.failed
+    by_id = {record["cell_id"]: record for record in report.records}
+
     rows = []
-    for label, make in WORKLOADS:
-        network = _realize(make(), N)
-        coverage = _coverage(network)
+    for (label, _), cell in zip(WORKLOADS, CAMPAIGN.expand()):
+        metrics = by_id[cell.cell_id]["metrics"]
         rows.append(
             [
                 label,
-                network.num_edges,
-                round(coverage.get("R2/E2", float("nan")), 3),
-                round(coverage.get("T2/E2", float("nan")), 3),
-                round(coverage.get("R3/E3", float("nan")), 3),
+                int(metrics["final_edges"]),
+                round(metrics.get("coverage_r2_e2", float("nan")), 3),
+                round(metrics.get("coverage_t2_e2", float("nan")), 3),
+                round(metrics.get("coverage_r3_e3", float("nan")), 3),
             ]
         )
         # T^{v,2} is a superset of R^{v,2} by definition.
-        assert coverage["T2/E2"] >= coverage["R2/E2"] - 1e-9
+        assert metrics["coverage_t2_e2"] >= metrics["coverage_r2_e2"] - 1e-9
     emit_table(
         "E11_robust_set_coverage",
         ["workload", "final edges", "R2 / E2", "T2 / E2", "R3 / E3"],

@@ -18,7 +18,7 @@ from repro.core import (
     TriangleMembershipNode,
 )
 
-from conftest import emit_table, run_experiment
+from benchmarks.harness import emit_table, run_experiment
 
 ALGORITHMS = [
     ("naive forwarding (Section 1.3 strawman)", NaiveForwardingNode, True),

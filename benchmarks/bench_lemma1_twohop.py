@@ -17,7 +17,7 @@ from repro.analysis import compare_models
 from repro.core import TwoHopListingNode
 from repro.simulator import RoundChanges
 
-from conftest import emit_table, run_experiment
+from benchmarks.harness import emit_table, run_experiment
 
 SIZES = [16, 32, 64, 128]
 

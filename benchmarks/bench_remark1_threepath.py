@@ -13,7 +13,7 @@ from repro.adversary import ThreePathLowerBoundAdversary
 from repro.simulator import DynamicNetwork
 from repro.simulator.adversary import AdversaryView
 
-from conftest import emit_table
+from benchmarks.harness import emit_table
 
 
 def _run(n: int, num_components: int, seed: int = 0):

@@ -5,6 +5,9 @@ this bench measures wall-clock throughput (simulated rounds per second) of the
 serial round engine across network sizes, and compares the serial engine with
 the sharded (multi-process) engine on the same workload so the trade-off
 (pickling overhead vs. parallel node phases) is documented with numbers.
+
+Every configuration is one campaign cell (``engine`` is a spec field), so the
+serial-vs-sharded comparison is just a grid axis.
 """
 
 from __future__ import annotations
@@ -13,95 +16,76 @@ import sys
 
 import pytest
 
-from repro.adversary import RandomChurnAdversary
-from repro.core import TriangleMembershipNode
-from repro.simulator import DynamicNetwork, MetricsCollector, RoundEngine, ShardedRoundEngine
-from repro.simulator.adversary import AdversaryView
+from repro.experiments import CampaignRunner, CampaignSpec, ExperimentSpec, ResultStore, run_cell
 
-from conftest import emit_table
+from benchmarks.harness import RESULTS_DIR, emit_table
 
 ROUNDS = 60
 
+_BASE = {
+    "algorithm": "triangle",
+    "adversary": "churn",
+    "rounds": ROUNDS,
+    "drain": False,
+    "adversary_params": {"inserts_per_round": 3, "deletes_per_round": 2},
+}
 
-def _run_serial(n: int, seed: int = 0) -> MetricsCollector:
-    adversary = RandomChurnAdversary(
-        n, num_rounds=ROUNDS, inserts_per_round=3, deletes_per_round=2, seed=seed
-    )
-    network = DynamicNetwork(n)
-    nodes = {v: TriangleMembershipNode(v, n) for v in range(n)}
-    engine = RoundEngine(network, nodes)
-    while not adversary.is_done:
-        view = AdversaryView.from_network(network, network.round_index + 1, engine.all_consistent)
-        changes = adversary.changes_for_round(view)
-        if changes is None:
-            break
-        engine.execute_round(changes)
-    return engine.metrics
+_CONFIGS = [{"engine": "serial", "n": n} for n in (32, 64, 128)]
+if sys.platform.startswith("linux"):
+    _CONFIGS += [{"engine": "sharded", "n": 96, "num_workers": w} for w in (2, 4)]
+
+CAMPAIGN = CampaignSpec(
+    name="E12_simulator_scaling",
+    base=_BASE,
+    grid={"config": _CONFIGS},
+)
 
 
-def _run_sharded(n: int, workers: int, seed: int = 0) -> MetricsCollector:
-    adversary = RandomChurnAdversary(
-        n, num_rounds=ROUNDS, inserts_per_round=3, deletes_per_round=2, seed=seed
-    )
-    with ShardedRoundEngine(n, TriangleMembershipNode, num_workers=workers) as engine:
-        while not adversary.is_done:
-            view = AdversaryView.from_network(
-                engine.network, engine.network.round_index + 1, engine.all_consistent
-            )
-            changes = adversary.changes_for_round(view)
-            if changes is None:
-                break
-            engine.execute_round(changes)
-        return engine.metrics
+def _label(cell: ExperimentSpec) -> str:
+    if cell.engine == "serial":
+        return f"serial n={cell.n}"
+    return f"sharded n={cell.n} workers={cell.num_workers}"
 
 
 @pytest.mark.parametrize("n", [32, 64, 128])
 def test_serial_engine_throughput(benchmark, n):
-    metrics = benchmark.pedantic(_run_serial, args=(n,), rounds=1, iterations=1)
-    benchmark.extra_info["rounds_simulated"] = metrics.rounds_executed
-    benchmark.extra_info["envelopes"] = metrics.total_envelopes
-    assert metrics.rounds_executed == ROUNDS
+    spec = ExperimentSpec.from_dict({**_BASE, "engine": "serial", "n": n})
+    metrics, _ = benchmark.pedantic(run_cell, args=(spec,), rounds=1, iterations=1)
+    benchmark.extra_info["rounds_simulated"] = metrics["rounds_executed"]
+    benchmark.extra_info["envelopes"] = metrics["total_envelopes"]
+    assert metrics["rounds_executed"] == ROUNDS
 
 
 @pytest.mark.skipif(not sys.platform.startswith("linux"), reason="fork start method required")
 @pytest.mark.parametrize("workers", [2, 4])
 def test_sharded_engine_throughput(benchmark, workers):
-    metrics = benchmark.pedantic(_run_sharded, args=(96, workers), rounds=1, iterations=1)
-    benchmark.extra_info["rounds_simulated"] = metrics.rounds_executed
-    assert metrics.rounds_executed == ROUNDS
+    spec = ExperimentSpec.from_dict({**_BASE, "engine": "sharded", "n": 96, "num_workers": workers})
+    metrics, _ = benchmark.pedantic(run_cell, args=(spec,), rounds=1, iterations=1)
+    benchmark.extra_info["rounds_simulated"] = metrics["rounds_executed"]
+    assert metrics["rounds_executed"] == ROUNDS
 
 
 def _emit_table_impl():
-    import time
+    store = ResultStore(RESULTS_DIR / "campaign_E12_scaling")
+    report = CampaignRunner(CAMPAIGN, store).run(resume=False)
+    assert not report.failed, report.failed
+    by_id = {record["cell_id"]: record for record in report.records}
 
     rows = []
-    for n in (32, 64, 128):
-        start = time.perf_counter()
-        metrics = _run_serial(n)
-        elapsed = time.perf_counter() - start
+    for cell in CAMPAIGN.expand():
+        record = by_id[cell.cell_id]
+        metrics = record["metrics"]
+        elapsed = record["duration_s"]
         rows.append(
             [
-                f"serial n={n}",
-                metrics.rounds_executed,
-                metrics.total_envelopes,
+                _label(cell),
+                int(metrics["rounds_executed"]),
+                int(metrics["total_envelopes"]),
                 round(elapsed, 3),
-                round(metrics.rounds_executed / elapsed, 1),
+                round(metrics["rounds_executed"] / elapsed, 1),
             ]
         )
-    if sys.platform.startswith("linux"):
-        for workers in (2, 4):
-            start = time.perf_counter()
-            metrics = _run_sharded(96, workers)
-            elapsed = time.perf_counter() - start
-            rows.append(
-                [
-                    f"sharded n=96 workers={workers}",
-                    metrics.rounds_executed,
-                    metrics.total_envelopes,
-                    round(elapsed, 3),
-                    round(metrics.rounds_executed / elapsed, 1),
-                ]
-            )
+        assert metrics["rounds_executed"] == ROUNDS
     emit_table(
         "E12_simulator_scaling",
         ["configuration", "rounds", "envelopes", "wall-clock s", "rounds / s"],

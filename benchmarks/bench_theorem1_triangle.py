@@ -6,69 +6,84 @@ sizes, together with the end-of-run correctness check (every node's triangle
 list equals the centralized ground truth).  The paper's accounting bounds the
 ratio by 3; the bench asserts the measured ratio stays below that constant and
 does not grow with n.
+
+The sweep is expressed as a :class:`~repro.experiments.spec.CampaignSpec`
+(sizes x workloads) and executed through the experiment-campaign subsystem;
+per-cell results and realized traces land under ``benchmarks/results/``.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.adversary import HeavyTailedChurnAdversary, RandomChurnAdversary
 from repro.analysis import growth_exponent
-from repro.core import TriangleMembershipNode
-from repro.oracle import triangles_containing
+from repro.experiments import CampaignRunner, CampaignSpec, ExperimentSpec, ResultStore, run_cell
 
-from conftest import emit_table, run_experiment
+from benchmarks.harness import RESULTS_DIR, emit_table
 
 SIZES = [16, 32, 64]
 
+CHURN_PARAMS = {"inserts_per_round": 3, "deletes_per_round": 2}
 
-def _run_churn(n: int, seed: int = 0):
-    return run_experiment(
-        TriangleMembershipNode,
-        RandomChurnAdversary(
-            n, num_rounds=150, inserts_per_round=3, deletes_per_round=2, seed=seed
-        ),
-        n,
-    )
+CAMPAIGN = CampaignSpec(
+    name="E2_theorem1_triangle",
+    base={"algorithm": "triangle", "rounds": 150, "checks": ["triangle_oracle"]},
+    grid={
+        "n": SIZES,
+        "workload": [
+            {"adversary": "churn", "adversary_params": CHURN_PARAMS},
+            {"adversary": "p2p", "adversary_params": {}},
+        ],
+    },
+)
+
+WORKLOAD_LABELS = {"churn": "uniform", "p2p": "p2p heavy-tailed"}
 
 
-def _run_p2p(n: int, seed: int = 0):
-    return run_experiment(
-        TriangleMembershipNode,
-        HeavyTailedChurnAdversary(n, num_rounds=150, seed=seed),
-        n,
+def _churn_cell(n: int, seed: int = 0) -> ExperimentSpec:
+    return ExperimentSpec.from_dict(
+        {
+            **CAMPAIGN.base,
+            "adversary": "churn",
+            "adversary_params": dict(CHURN_PARAMS),
+            "n": n,
+            "seed": seed,
+        }
     )
 
 
 @pytest.mark.parametrize("n", SIZES)
 def test_random_churn(benchmark, n):
-    result = benchmark.pedantic(_run_churn, args=(n,), rounds=1, iterations=1)
-    benchmark.extra_info["amortized_round_complexity"] = result.amortized_round_complexity
-    assert result.metrics.max_running_amortized_complexity() <= 3.0 + 1e-9
+    metrics, _ = benchmark.pedantic(run_cell, args=(_churn_cell(n),), rounds=1, iterations=1)
+    benchmark.extra_info["amortized_round_complexity"] = metrics["amortized_round_complexity"]
+    assert metrics["max_running_amortized_complexity"] <= 3.0 + 1e-9
+    assert metrics["triangle_matches_oracle"] == 1.0
 
 
 def _emit_table_impl():
+    store = ResultStore(RESULTS_DIR / "campaign_E2_theorem1")
+    report = CampaignRunner(CAMPAIGN, store).run(resume=False)
+    assert not report.failed, report.failed
+    by_id = {record["cell_id"]: record for record in report.records}
+
     rows = []
     churn_measure = []
-    for n in SIZES:
-        for label, result in (("uniform", _run_churn(n)), ("p2p heavy-tailed", _run_p2p(n))):
-            correct = all(
-                node.known_triangles() == triangles_containing(result.network.edges, v)
-                for v, node in result.nodes.items()
-            )
-            rows.append(
-                [
-                    n,
-                    label,
-                    result.metrics.total_changes,
-                    round(result.amortized_round_complexity, 4),
-                    round(result.metrics.max_running_amortized_complexity(), 4),
-                    correct,
-                ]
-            )
-            if label == "uniform":
-                churn_measure.append((n, result.amortized_round_complexity))
-            assert correct
+    for cell in CAMPAIGN.expand():
+        metrics = by_id[cell.cell_id]["metrics"]
+        correct = metrics["triangle_matches_oracle"] == 1.0
+        rows.append(
+            [
+                cell.n,
+                WORKLOAD_LABELS[cell.adversary],
+                int(metrics["total_changes"]),
+                round(metrics["amortized_round_complexity"], 4),
+                round(metrics["max_running_amortized_complexity"], 4),
+                correct,
+            ]
+        )
+        if cell.adversary == "churn":
+            churn_measure.append((cell.n, metrics["amortized_round_complexity"]))
+        assert correct
     emit_table(
         "E2_theorem1_triangle_membership",
         ["n", "workload", "changes", "amortized rounds", "worst prefix", "matches oracle"],

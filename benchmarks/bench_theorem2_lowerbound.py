@@ -17,7 +17,7 @@ from repro.analysis import growth_exponent, theorem2_lower_bound
 from repro.core import TriangleMembershipNode, TwoHopListingNode
 from repro.core.membership import PATTERNS
 
-from conftest import emit_table, run_experiment
+from benchmarks.harness import emit_table, run_experiment
 
 SIZES = [16, 32, 64]
 PATTERN_NAMES = ["P3", "P4", "diamond"]

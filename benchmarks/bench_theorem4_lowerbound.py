@@ -24,7 +24,7 @@ from repro.oracle import cycles_of_length
 from repro.simulator import DynamicNetwork
 from repro.simulator.adversary import AdversaryView
 
-from conftest import emit_table
+from benchmarks.harness import emit_table
 
 BOUND_SIZES = [256, 1024, 4096, 16384]
 

@@ -13,7 +13,7 @@ from repro.core import CycleListingNode
 from repro.oracle import cycles_of_length
 from repro.workloads import planted_cycle_churn
 
-from conftest import emit_table, run_experiment
+from benchmarks.harness import emit_table, run_experiment
 
 N = 18
 KS = [4, 5]

@@ -14,7 +14,7 @@ from repro.analysis import growth_exponent
 from repro.core import RobustThreeHopNode
 from repro.oracle import khop_edges, robust_three_hop
 
-from conftest import emit_table, run_experiment
+from benchmarks.harness import emit_table, run_experiment
 
 SIZES = [12, 16, 24]
 

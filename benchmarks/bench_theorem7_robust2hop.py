@@ -16,7 +16,7 @@ from repro.adversary import RandomChurnAdversary
 from repro.analysis import growth_exponent
 from repro.core import RobustTwoHopNode
 
-from conftest import emit_table, run_experiment
+from benchmarks.harness import emit_table, run_experiment
 
 SIZES = [16, 32, 64]
 CHURN_RATES = [(2, 1), (4, 2)]

@@ -1,63 +1,65 @@
-"""Command-line interface: run a quick simulation and print its metrics.
+"""Command-line interface: single runs and experiment campaigns.
 
-Installed as the ``repro-dynamic-subgraphs`` console script.  It is a thin
-convenience layer over :class:`~repro.simulator.runner.SimulationRunner` for
-kicking the tyres of an algorithm/adversary combination without writing code::
+Installed as the ``repro-dynamic-subgraphs`` console script.  Two modes:
 
-    repro-dynamic-subgraphs --algorithm triangle --adversary churn --nodes 40 --rounds 300
+* the default mode runs one algorithm/adversary combination and prints its
+  metrics -- a thin layer over
+  :class:`~repro.simulator.runner.SimulationRunner`::
+
+      repro-dynamic-subgraphs --algorithm triangle --adversary churn --nodes 40 --rounds 300
+
+* the ``campaign`` subcommand expands a declarative JSON sweep spec and runs
+  it across a worker pool (see :mod:`repro.experiments`), persisting per-cell
+  results and traces and printing the aggregate table::
+
+      repro-dynamic-subgraphs campaign --spec sweep.json --jobs 4
+
+Both modes resolve algorithm and adversary names through the shared
+registries of :mod:`repro.experiments.registry`, so every implemented
+adversary -- including the flickering-triangle construction, the Remark 1
+three-path lower bound and recorded-trace replay -- is reachable from the
+command line.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict
+from pathlib import Path
+from typing import Dict, List, Optional
 
-from .adversary import (
-    BatchInsertAdversary,
-    HeavyTailedChurnAdversary,
-    MembershipLowerBoundAdversary,
-    RandomChurnAdversary,
-)
 from .analysis.tables import format_table
-from .core import (
-    CliqueMembershipNode,
-    CycleListingNode,
-    NaiveForwardingNode,
-    RobustThreeHopNode,
-    RobustTwoHopNode,
-    TriangleMembershipNode,
-    TwoHopListingNode,
-)
 from .core.membership import PATTERNS
+from .experiments import (
+    ADVERSARIES,
+    ALGORITHMS,
+    CampaignRunner,
+    CampaignSpec,
+    ResultStore,
+    build_adversary,
+)
 from .simulator import SimulationRunner
 
-__all__ = ["main", "build_parser"]
-
-ALGORITHMS: Dict[str, Callable] = {
-    "robust2hop": RobustTwoHopNode,
-    "triangle": TriangleMembershipNode,
-    "clique": CliqueMembershipNode,
-    "robust3hop": RobustThreeHopNode,
-    "cycles": CycleListingNode,
-    "twohop": TwoHopListingNode,
-    "naive": NaiveForwardingNode,
-}
+__all__ = ["main", "build_parser", "build_campaign_parser", "campaign_main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """The CLI argument parser (exposed for testing)."""
+    """The single-run argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
         prog="repro-dynamic-subgraphs",
-        description="Run a highly-dynamic-network simulation and report amortized complexity.",
+        description="Run a highly-dynamic-network simulation and report amortized complexity. "
+        "Use the 'campaign' subcommand to run a declarative sweep spec instead.",
     )
     parser.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="triangle")
     parser.add_argument(
         "--adversary",
-        choices=["churn", "p2p", "batch", "theorem2"],
+        choices=sorted(ADVERSARIES),
         default="churn",
         help="churn: uniform random churn; p2p: heavy-tailed sessions; "
-        "batch: one-shot random graph; theorem2: the membership lower-bound adversary",
+        "batch: one-shot random graph; flicker: the Section 1.3 flickering triangle; "
+        "theorem2/theorem4/threepath: the lower-bound constructions; "
+        "scripted: replay a recorded trace (--trace); "
+        "planted_clique/planted_cycle/growing: canned workload generators",
     )
     parser.add_argument("--nodes", type=int, default=30)
     parser.add_argument("--rounds", type=int, default=200)
@@ -66,6 +68,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--deletes-per-round", type=int, default=1)
     parser.add_argument(
         "--pattern", choices=sorted(PATTERNS), default="P3", help="pattern for --adversary theorem2"
+    )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        help="trace JSON to replay (required for --adversary scripted)",
+    )
+    parser.add_argument(
+        "--save-trace",
+        type=Path,
+        default=None,
+        help="record the realized schedule and write it to this file "
+        "(replayable later via --adversary scripted --trace FILE)",
     )
     parser.add_argument(
         "--bandwidth-factor", type=int, default=8, help="per-link budget = factor * ceil(log2 n) bits"
@@ -78,38 +93,46 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _build_adversary(args: argparse.Namespace):
+def _adversary_params(args: argparse.Namespace) -> Dict:
+    """Translate single-run flags into registry builder params."""
     if args.adversary == "churn":
-        return RandomChurnAdversary(
-            args.nodes,
-            num_rounds=args.rounds,
-            inserts_per_round=args.inserts_per_round,
-            deletes_per_round=args.deletes_per_round,
-            seed=args.seed,
-        )
-    if args.adversary == "p2p":
-        return HeavyTailedChurnAdversary(args.nodes, num_rounds=args.rounds, seed=args.seed)
-    if args.adversary == "batch":
-        return BatchInsertAdversary.random_graph(
-            args.nodes, num_edges=3 * args.nodes, seed=args.seed
-        )
+        return {
+            "inserts_per_round": args.inserts_per_round,
+            "deletes_per_round": args.deletes_per_round,
+        }
     if args.adversary == "theorem2":
-        return MembershipLowerBoundAdversary(args.nodes, PATTERNS[args.pattern])
-    raise ValueError(f"unknown adversary {args.adversary!r}")
+        return {"pattern": args.pattern}
+    if args.adversary == "scripted":
+        if args.trace is None:
+            raise SystemExit("--adversary scripted requires --trace FILE")
+        return {"trace_path": str(args.trace)}
+    return {}
 
 
-def main(argv=None) -> int:
-    """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
-    adversary = _build_adversary(args)
+def _run_single(args: argparse.Namespace) -> int:
+    try:
+        adversary = build_adversary(
+            args.adversary,
+            n=args.nodes,
+            rounds=args.rounds,
+            seed=args.seed,
+            params=_adversary_params(args),
+        )
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     runner = SimulationRunner(
         n=args.nodes,
         algorithm_factory=ALGORITHMS[args.algorithm],
         adversary=adversary,
         bandwidth_factor=args.bandwidth_factor,
         strict_bandwidth=not args.loose_bandwidth,
+        record_trace=args.save_trace is not None,
     )
     result = runner.run(num_rounds=args.rounds)
+    if args.save_trace is not None:
+        result.trace.save(args.save_trace)
+        print(f"trace written to {args.save_trace}")
     summary = result.summary()
     print(
         format_table(
@@ -118,6 +141,94 @@ def main(argv=None) -> int:
         )
     )
     return 0
+
+
+# --------------------------------------------------------------------- #
+# campaign subcommand
+# --------------------------------------------------------------------- #
+def build_campaign_parser() -> argparse.ArgumentParser:
+    """The ``campaign`` subcommand parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-dynamic-subgraphs campaign",
+        description="Expand a declarative sweep spec (JSON) and run it across a worker pool, "
+        "persisting per-cell JSONL results + traces and printing the aggregate table. "
+        "Re-running the same spec skips cells that already have stored results.",
+    )
+    parser.add_argument("--spec", type=Path, required=True, help="campaign spec JSON file")
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes (1 = inline)")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="result-store directory (default: campaigns/<campaign name>)",
+    )
+    parser.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="re-run every cell even if the store already has its result",
+    )
+    parser.add_argument(
+        "--group-by",
+        default="algorithm,adversary,n",
+        help="comma-separated spec fields for the aggregate table grouping",
+    )
+    parser.add_argument(
+        "--metrics",
+        default="amortized_round_complexity",
+        help="comma-separated metric names to aggregate (mean and p95 per group)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", dest="list_cells", help="print the expanded cells and exit"
+    )
+    return parser
+
+
+def campaign_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``campaign`` subcommand."""
+    args = build_campaign_parser().parse_args(argv)
+    try:
+        campaign = CampaignSpec.load(args.spec)
+        cells = campaign.expand()
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.list_cells:
+        for cell in cells:
+            print(cell.cell_id)
+        return 0
+
+    out = args.out if args.out is not None else Path("campaigns") / campaign.name
+    store = ResultStore(out)
+    runner = CampaignRunner(campaign, store, jobs=args.jobs)
+
+    def progress(record, done, total):
+        status = record["status"]
+        print(f"[{done}/{total}] {record['cell_id']}: {status} ({record['duration_s']:.2f}s)")
+
+    print(f"campaign {campaign.name!r}: {len(cells)} cells -> {out}")
+    report = runner.run(resume=not args.no_resume, progress=progress)
+    print(
+        f"ran {report.num_run} cells, skipped {report.num_skipped} already-complete, "
+        f"{len(report.failed)} failed"
+    )
+    group_by = [part.strip() for part in args.group_by.split(",") if part.strip()]
+    metrics = [part.strip() for part in args.metrics.split(",") if part.strip()]
+    print(store.format_aggregate(group_by=group_by, metrics=metrics))
+    if report.failed:
+        first = report.failed[0]
+        print(f"\nfirst failure ({first['cell_id']}):\n{first['error']}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "campaign":
+        return campaign_main(argv[1:])
+    args = build_parser().parse_args(argv)
+    return _run_single(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

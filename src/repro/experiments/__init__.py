@@ -1,0 +1,62 @@
+"""Experiment campaigns: declarative specs, a parallel sweep runner, storage.
+
+This subsystem turns "one benchmark script per theorem" into "one spec entry
+per scenario":
+
+* :mod:`repro.experiments.spec` -- :class:`ExperimentSpec` (one cell) and
+  :class:`CampaignSpec` (a sweep with grid expansion), JSON round-trippable.
+* :mod:`repro.experiments.registry` -- named registries of algorithms,
+  adversaries / workload generators and end-of-run checks shared with the CLI.
+* :mod:`repro.experiments.campaign` -- :func:`run_cell` and
+  :class:`CampaignRunner`, which executes the expanded grid across a
+  multiprocessing worker pool with per-cell trace recording and resume.
+* :mod:`repro.experiments.store` -- the JSONL :class:`ResultStore` with
+  mean / p95 aggregation feeding the analysis tables.
+
+Quickstart::
+
+    from repro.experiments import CampaignSpec, CampaignRunner, ResultStore
+
+    campaign = CampaignSpec(
+        name="triangle-sweep",
+        base={"algorithm": "triangle", "adversary": "churn", "rounds": 150,
+              "checks": ["triangle_oracle"]},
+        grid={"n": [16, 32, 64]},
+        seeds=[0, 1],
+    )
+    report = CampaignRunner(campaign, "results/triangle-sweep", jobs=4).run()
+    print(ResultStore("results/triangle-sweep").format_aggregate())
+"""
+
+from .campaign import CampaignReport, CampaignRunner, execute_cell, run_cell
+from .registry import (
+    ADVERSARIES,
+    ALGORITHMS,
+    CHECKS,
+    NullWorkloadNode,
+    build_adversary,
+    register_adversary,
+    register_algorithm,
+    register_check,
+)
+from .spec import CampaignSpec, ExperimentSpec
+from .store import ResultStore, percentile
+
+__all__ = [
+    "ADVERSARIES",
+    "ALGORITHMS",
+    "CHECKS",
+    "CampaignReport",
+    "CampaignRunner",
+    "CampaignSpec",
+    "ExperimentSpec",
+    "NullWorkloadNode",
+    "ResultStore",
+    "build_adversary",
+    "execute_cell",
+    "percentile",
+    "register_adversary",
+    "register_algorithm",
+    "register_check",
+    "run_cell",
+]

@@ -1,0 +1,284 @@
+"""Parallel execution of an expanded experiment campaign.
+
+:func:`run_cell` executes one :class:`~repro.experiments.spec.ExperimentSpec`
+(serial or sharded engine) and returns its metrics plus the realized
+:class:`~repro.simulator.trace.TopologyTrace`.  :class:`CampaignRunner`
+expands a :class:`~repro.experiments.spec.CampaignSpec`, shards the pending
+cells across persistent worker processes (the same process-and-pipe idiom as
+:class:`~repro.simulator.parallel.ShardedRoundEngine`, reusing its
+:func:`~repro.simulator.parallel.shard_nodes` partitioner) and streams every
+finished cell straight into a :class:`~repro.experiments.store.ResultStore`.
+
+Because records are persisted as they land, a campaign can be interrupted at
+any point and re-run: cells whose id already has an ``ok`` record are skipped
+(resume), while failed cells are retried.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as connection_wait
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..simulator.bandwidth import BandwidthPolicy
+from ..simulator.parallel import ShardedRoundEngine, shard_nodes
+from ..simulator.runner import SimulationRunner, drive_engine
+from ..simulator.trace import TopologyTrace, TraceRecordingAdversary
+from .registry import ALGORITHMS, CHECKS, build_adversary
+from .spec import CampaignSpec, ExperimentSpec
+from .store import ResultStore
+
+__all__ = ["run_cell", "execute_cell", "CampaignReport", "CampaignRunner"]
+
+#: Progress callback: ``progress(record, finished_count, total_count)``.
+ProgressCallback = Callable[[Dict[str, Any], int, int], None]
+
+
+def run_cell(spec: ExperimentSpec) -> Tuple[Dict[str, float], Optional[TopologyTrace]]:
+    """Execute one cell and return ``(metrics, trace)``.
+
+    The metrics dict merges the simulator's summary (amortized complexity,
+    bandwidth accounting), the final edge count, and the outputs of the
+    spec's end-of-run checks.  ``trace`` is the realized schedule when
+    ``spec.record_trace`` is set (always recorded, even for randomised
+    adversaries, so any cell can be replayed bit-for-bit later).
+    """
+    adversary = build_adversary(
+        spec.adversary,
+        n=spec.n,
+        rounds=spec.rounds,
+        seed=spec.seed,
+        params=spec.adversary_params,
+    )
+    if spec.engine == "sharded":
+        return _run_sharded(spec, adversary)
+
+    runner = SimulationRunner(
+        n=spec.n,
+        algorithm_factory=ALGORITHMS[spec.algorithm],
+        adversary=adversary,
+        bandwidth_factor=spec.bandwidth_factor,
+        strict_bandwidth=spec.strict_bandwidth,
+        record_trace=spec.record_trace,
+    )
+    result = runner.run(num_rounds=spec.rounds, drain=spec.drain)
+    metrics = result.summary()
+    metrics["final_edges"] = float(result.network.num_edges)
+    for check in spec.checks:
+        metrics.update(CHECKS[check](result))
+    return metrics, result.trace
+
+
+def _run_sharded(spec, adversary) -> Tuple[Dict[str, float], Optional[TopologyTrace]]:
+    if spec.record_trace:
+        adversary = TraceRecordingAdversary(adversary, spec.n)
+    bandwidth = BandwidthPolicy(factor=spec.bandwidth_factor, strict=spec.strict_bandwidth)
+    with ShardedRoundEngine(
+        spec.n,
+        ALGORITHMS[spec.algorithm],
+        num_workers=spec.num_workers,
+        bandwidth=bandwidth,
+    ) as engine:
+        drive_engine(engine, adversary, num_rounds=spec.rounds, drain=spec.drain)
+        metrics = dict(engine.metrics.summary())
+        for key, value in engine.bandwidth.summary(spec.n).items():
+            metrics[f"bandwidth_{key}"] = float(value)
+        metrics["final_edges"] = float(engine.network.num_edges)
+    trace = adversary.trace if isinstance(adversary, TraceRecordingAdversary) else None
+    return metrics, trace
+
+
+def execute_cell(spec: ExperimentSpec) -> Tuple[Dict[str, Any], Optional[Dict[str, Any]]]:
+    """Run one cell defensively, returning ``(record, trace_dict)``.
+
+    Never raises: failures become ``status == "error"`` records carrying the
+    traceback, so one bad cell cannot take down a whole campaign (the resume
+    pass will retry it).
+    """
+    start = time.perf_counter()
+    try:
+        metrics, trace = run_cell(spec)
+        status, error = "ok", None
+    except Exception:  # noqa: BLE001 - the traceback is the payload
+        metrics, trace = {}, None
+        status, error = "error", traceback.format_exc()
+    record: Dict[str, Any] = {
+        "cell_id": spec.cell_id,
+        "spec": spec.to_dict(),
+        "status": status,
+        "metrics": metrics,
+        "error": error,
+        "duration_s": round(time.perf_counter() - start, 6),
+        "finished_at": time.time(),
+    }
+    return record, (trace.to_dict() if trace is not None else None)
+
+
+def _campaign_worker(conn, spec_dicts: List[Dict[str, Any]]) -> None:
+    """Worker process: run a shard of cells, streaming each result back."""
+    try:
+        for spec_dict in spec_dicts:
+            record, trace_dict = execute_cell(ExperimentSpec.from_dict(spec_dict))
+            conn.send(("cell", record, trace_dict))
+        conn.send(("done", None, None))
+    finally:
+        conn.close()
+
+
+@dataclass
+class CampaignReport:
+    """What a campaign run did: new records, skipped cells, failures."""
+
+    campaign: str
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    skipped_ids: List[str] = field(default_factory=list)
+
+    @property
+    def num_run(self) -> int:
+        return len(self.records)
+
+    @property
+    def num_skipped(self) -> int:
+        return len(self.skipped_ids)
+
+    @property
+    def failed(self) -> List[Dict[str, Any]]:
+        return [r for r in self.records if r.get("status") != "ok"]
+
+
+class CampaignRunner:
+    """Expands a campaign and drives its cells through a worker pool.
+
+    Args:
+        campaign: the declarative sweep description.
+        store: result store (or a directory path to create one in).
+        jobs: number of worker processes; ``1`` runs cells inline, which is
+            also the fallback on platforms without ``fork``.
+        start_method: multiprocessing start method for the workers.  The
+            workers are *not* daemonic, so cells using the sharded engine can
+            spawn their own shard processes.
+    """
+
+    def __init__(
+        self,
+        campaign: CampaignSpec,
+        store: ResultStore | str | Path,
+        *,
+        jobs: int = 1,
+        start_method: str = "fork",
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be positive")
+        self.campaign = campaign
+        self.store = store if isinstance(store, ResultStore) else ResultStore(store)
+        self.jobs = jobs
+        self.start_method = start_method
+
+    def run(
+        self,
+        *,
+        resume: bool = True,
+        progress: Optional[ProgressCallback] = None,
+    ) -> CampaignReport:
+        """Run every pending cell; returns the :class:`CampaignReport`.
+
+        With ``resume`` (the default), cells whose id already has an ``ok``
+        record in the store are skipped; pass ``resume=False`` to re-run the
+        full grid regardless of stored results.
+        """
+        cells = self.campaign.expand()
+        completed = self.store.completed_ids() if resume else set()
+        pending = [cell for cell in cells if cell.cell_id not in completed]
+        report = CampaignReport(
+            campaign=self.campaign.name,
+            skipped_ids=[c.cell_id for c in cells if c.cell_id in completed],
+        )
+        if not pending:
+            return report
+
+        inline = (
+            self.jobs == 1
+            or len(pending) == 1
+            or self.start_method not in mp.get_all_start_methods()
+        )
+        if inline:
+            for spec in pending:
+                record, trace_dict = execute_cell(spec)
+                self._persist(record, trace_dict)
+                report.records.append(record)
+                if progress is not None:
+                    progress(record, len(report.records), len(pending))
+            return report
+
+        shards = shard_nodes(len(pending), self.jobs)
+        ctx = mp.get_context(self.start_method)
+        conns, procs = [], []
+        for shard in shards:
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_campaign_worker,
+                args=(child_conn, [pending[i].to_dict() for i in shard]),
+            )
+            proc.start()
+            child_conn.close()
+            conns.append(parent_conn)
+            procs.append(proc)
+        try:
+            open_conns = set(conns)
+            while open_conns:
+                for conn in connection_wait(list(open_conns)):
+                    try:
+                        kind, record, trace_dict = conn.recv()
+                    except EOFError:
+                        open_conns.discard(conn)
+                        continue
+                    if kind == "done":
+                        open_conns.discard(conn)
+                        continue
+                    self._persist(record, trace_dict)
+                    report.records.append(record)
+                    if progress is not None:
+                        progress(record, len(report.records), len(pending))
+        finally:
+            for proc in procs:
+                proc.join(timeout=30)
+                if proc.is_alive():  # pragma: no cover - defensive
+                    proc.terminate()
+            for conn in conns:
+                conn.close()
+
+        # A worker that died mid-shard (OOM-kill, segfault) streams nothing
+        # for its remaining cells; surface those as failures instead of
+        # silently under-reporting the campaign.
+        delivered = {record["cell_id"] for record in report.records}
+        exit_codes = [proc.exitcode for proc in procs]
+        for spec in pending:
+            if spec.cell_id in delivered:
+                continue
+            record = {
+                "cell_id": spec.cell_id,
+                "spec": spec.to_dict(),
+                "status": "error",
+                "metrics": {},
+                "error": "worker process died before running this cell "
+                f"(worker exit codes: {exit_codes})",
+                "duration_s": 0.0,
+                "finished_at": time.time(),
+            }
+            self._persist(record, None)
+            report.records.append(record)
+            if progress is not None:
+                progress(record, len(report.records), len(pending))
+        return report
+
+    def _persist(self, record: Dict[str, Any], trace_dict: Optional[Dict[str, Any]]) -> None:
+        if trace_dict is not None:
+            path = self.store.save_trace(record["cell_id"], trace_dict)
+            record["trace_path"] = str(path.relative_to(self.store.root))
+        else:
+            record["trace_path"] = None
+        self.store.append(record)

@@ -1,0 +1,296 @@
+"""Named registries binding experiment specs to runnable objects.
+
+A spec file refers to algorithms, adversaries and end-of-run checks by name;
+this module owns the three registries that resolve those names:
+
+* :data:`ALGORITHMS` -- node-algorithm factories (``factory(node_id, n)``),
+  every structure of :mod:`repro.core` plus the :class:`NullWorkloadNode`
+  baseline that realizes a workload without running any algorithm.
+* :data:`ADVERSARIES` -- adversary builders ``builder(n, rounds, seed,
+  params)`` covering every implemented adversary and the canned workload
+  generators of :mod:`repro.workloads`.
+* :data:`CHECKS` -- end-of-run validators ``check(result)`` returning extra
+  metrics (e.g. whether the distributed answers match the centralized
+  oracle, or robust-set coverage ratios).
+
+The CLI shares these registries, so anything expressible on the command line
+is expressible in a campaign spec and vice versa.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping, Sequence
+
+from ..adversary import (
+    BatchInsertAdversary,
+    CycleLowerBoundAdversary,
+    FlickerTriangleAdversary,
+    HeavyTailedChurnAdversary,
+    MembershipLowerBoundAdversary,
+    RandomChurnAdversary,
+    ThreePathLowerBoundAdversary,
+)
+from ..core import (
+    CliqueMembershipNode,
+    CycleListingNode,
+    FullBroadcastNode,
+    NaiveForwardingNode,
+    RobustThreeHopNode,
+    RobustTwoHopNode,
+    TriangleMembershipNode,
+    TwoHopListingNode,
+)
+from ..core.membership import PATTERNS
+from ..oracle import (
+    khop_edges,
+    robust_three_hop,
+    robust_two_hop,
+    triangle_pattern_set,
+    triangles_containing,
+)
+from ..simulator import Adversary, Envelope, NodeAlgorithm
+from ..simulator.runner import SimulationResult
+from ..simulator.trace import TopologyTrace, TraceReplayAdversary
+from ..workloads import (
+    growing_random_graph,
+    planted_clique_churn,
+    planted_cycle_churn,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "ADVERSARIES",
+    "CHECKS",
+    "NullWorkloadNode",
+    "build_adversary",
+    "register_adversary",
+    "register_algorithm",
+    "register_check",
+]
+
+#: An adversary builder: ``builder(n, rounds, seed, params)``.  ``rounds`` is
+#: the spec's round budget (may be ``None`` for finite-schedule adversaries)
+#: and ``params`` the adversary-specific keyword arguments from the spec.
+AdversaryBuilder = Callable[[int, Any, int, Dict[str, Any]], Adversary]
+
+#: An end-of-run check: receives the finished :class:`SimulationResult` and
+#: returns extra metrics to merge into the cell's record (floats only, so the
+#: record stays JSONL-serialisable and aggregatable).
+ResultCheck = Callable[[SimulationResult], Dict[str, float]]
+
+
+class NullWorkloadNode(NodeAlgorithm):
+    """A do-nothing algorithm used to realize a workload on the bare network.
+
+    Always consistent, never sends a message: running it through the engine
+    materialises exactly the adversary's schedule in the ground-truth network,
+    which is what workload-characterisation experiments (e.g. robust-set
+    coverage) need.
+    """
+
+    def on_topology_change(self, round_index, inserted, deleted) -> None:
+        pass
+
+    def compose_messages(self, round_index) -> Dict[int, Envelope]:
+        return {}
+
+    def on_messages(self, round_index, received) -> None:
+        pass
+
+    def is_consistent(self) -> bool:
+        return True
+
+    def query(self, query: Any) -> Any:
+        return None
+
+
+ALGORITHMS: Dict[str, Callable] = {
+    "robust2hop": RobustTwoHopNode,
+    "triangle": TriangleMembershipNode,
+    "clique": CliqueMembershipNode,
+    "robust3hop": RobustThreeHopNode,
+    "cycles": CycleListingNode,
+    "twohop": TwoHopListingNode,
+    "naive": NaiveForwardingNode,
+    "broadcast": FullBroadcastNode,
+    "null": NullWorkloadNode,
+}
+
+
+# --------------------------------------------------------------------- #
+# Adversary builders
+# --------------------------------------------------------------------- #
+def _round_budget(rounds, params: Dict[str, Any], default: int = 200) -> int:
+    """Resolve the round budget for adversaries that need one up front."""
+    if "num_rounds" in params:
+        return int(params.pop("num_rounds"))
+    if rounds is not None:
+        return int(rounds)
+    return default
+
+
+def _build_churn(n, rounds, seed, params):
+    return RandomChurnAdversary(n, _round_budget(rounds, params), seed=seed, **params)
+
+
+def _build_p2p(n, rounds, seed, params):
+    return HeavyTailedChurnAdversary(n, _round_budget(rounds, params), seed=seed, **params)
+
+
+def _build_batch(n, rounds, seed, params):
+    num_edges = int(params.pop("num_edges", 3 * n))
+    return BatchInsertAdversary.random_graph(n, num_edges, seed=seed, **params)
+
+
+def _build_theorem2(n, rounds, seed, params):
+    pattern = params.pop("pattern", "P3")
+    if pattern not in PATTERNS:
+        raise ValueError(f"unknown pattern {pattern!r}; choose from {sorted(PATTERNS)}")
+    return MembershipLowerBoundAdversary(n, PATTERNS[pattern], **params)
+
+
+def _build_theorem4(n, rounds, seed, params):
+    return CycleLowerBoundAdversary(n, params.pop("k", 6), seed=seed, **params)
+
+
+def _build_threepath(n, rounds, seed, params):
+    return ThreePathLowerBoundAdversary(n, seed=seed, **params)
+
+
+def _build_flicker(n, rounds, seed, params):
+    adversary = FlickerTriangleAdversary(**params)
+    needed = 1 + max(
+        (adversary.v, adversary.u, adversary.w)
+        + tuple(params.get("filler_u", (3, 4)))
+        + tuple(params.get("filler_w", (5, 6, 7, 8)))
+    )
+    if n < needed:
+        raise ValueError(f"flicker adversary touches node ids up to {needed - 1}; need n >= {needed}")
+    return adversary
+
+
+def _build_scripted(n, rounds, seed, params):
+    if "trace_path" in params:
+        trace = TopologyTrace.load(params.pop("trace_path"))
+    elif "trace" in params:
+        trace = TopologyTrace.from_dict(params.pop("trace"))
+    else:
+        raise ValueError("scripted adversary needs 'trace_path' or an inline 'trace' dict")
+    if params:
+        raise ValueError(f"unexpected scripted params: {sorted(params)}")
+    if trace.n > n:
+        raise ValueError(f"trace was recorded for n={trace.n} but the spec has n={n}")
+    return TraceReplayAdversary(trace)
+
+
+def _build_planted_clique(n, rounds, seed, params):
+    k = int(params.pop("k", 4))
+    num_plants = int(params.pop("num_plants", 3))
+    adversary, _ = planted_clique_churn(n, k, num_plants, seed=seed, **params)
+    return adversary
+
+
+def _build_planted_cycle(n, rounds, seed, params):
+    k = int(params.pop("k", 4))
+    num_plants = int(params.pop("num_plants", 3))
+    adversary, _ = planted_cycle_churn(n, k, num_plants, seed=seed, **params)
+    return adversary
+
+
+def _build_growing(n, rounds, seed, params):
+    num_edges = int(params.pop("num_edges", 2 * n))
+    return growing_random_graph(n, num_edges, seed=seed, **params)
+
+
+ADVERSARIES: Dict[str, AdversaryBuilder] = {
+    "churn": _build_churn,
+    "p2p": _build_p2p,
+    "batch": _build_batch,
+    "theorem2": _build_theorem2,
+    "theorem4": _build_theorem4,
+    "threepath": _build_threepath,
+    "flicker": _build_flicker,
+    "scripted": _build_scripted,
+    "planted_clique": _build_planted_clique,
+    "planted_cycle": _build_planted_cycle,
+    "growing": _build_growing,
+}
+
+
+def build_adversary(
+    name: str,
+    *,
+    n: int,
+    rounds=None,
+    seed: int = 0,
+    params: Mapping[str, Any] | None = None,
+) -> Adversary:
+    """Instantiate a registered adversary for one experiment cell."""
+    if name not in ADVERSARIES:
+        raise ValueError(f"unknown adversary {name!r}; choose from {sorted(ADVERSARIES)}")
+    try:
+        return ADVERSARIES[name](n, rounds, seed, dict(params or {}))
+    except TypeError as exc:
+        raise ValueError(f"bad parameters for adversary {name!r}: {exc}") from exc
+
+
+# --------------------------------------------------------------------- #
+# End-of-run checks
+# --------------------------------------------------------------------- #
+def _check_consistent(result: SimulationResult) -> Dict[str, float]:
+    ok = all(node.is_consistent() for node in result.nodes.values())
+    return {"all_consistent": 1.0 if ok else 0.0}
+
+
+def _check_triangle_oracle(result: SimulationResult) -> Dict[str, float]:
+    edges = result.network.edges
+    ok = all(
+        node.known_triangles() == triangles_containing(edges, v)
+        for v, node in result.nodes.items()
+    )
+    return {"triangle_matches_oracle": 1.0 if ok else 0.0}
+
+
+def _check_coverage(result: SimulationResult) -> Dict[str, float]:
+    network = result.network
+    times = network.insertion_times()
+    edges = network.edges
+    ratios: Dict[str, list] = {"r2_e2": [], "t2_e2": [], "r3_e3": []}
+    for v in range(network.n):
+        e2 = khop_edges(edges, v, 2)
+        e3 = khop_edges(edges, v, 3)
+        if e2:
+            ratios["r2_e2"].append(len(robust_two_hop(edges, times, v)) / len(e2))
+            ratios["t2_e2"].append(len(triangle_pattern_set(edges, times, v)) / len(e2))
+        if e3:
+            ratios["r3_e3"].append(len(robust_three_hop(edges, times, v)) / len(e3))
+    return {
+        f"coverage_{key}": sum(vals) / len(vals)
+        for key, vals in ratios.items()
+        if vals
+    }
+
+
+CHECKS: Dict[str, ResultCheck] = {
+    "consistent": _check_consistent,
+    "triangle_oracle": _check_triangle_oracle,
+    "coverage": _check_coverage,
+}
+
+
+# --------------------------------------------------------------------- #
+# Extension hooks
+# --------------------------------------------------------------------- #
+def register_algorithm(name: str, factory: Callable) -> None:
+    """Register an extra algorithm factory under ``name``."""
+    ALGORITHMS[name] = factory
+
+
+def register_adversary(name: str, builder: AdversaryBuilder) -> None:
+    """Register an extra adversary builder under ``name``."""
+    ADVERSARIES[name] = builder
+
+
+def register_check(name: str, check: ResultCheck) -> None:
+    """Register an extra end-of-run check under ``name``."""
+    CHECKS[name] = check

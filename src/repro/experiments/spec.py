@@ -1,0 +1,282 @@
+"""Declarative experiment and campaign specifications.
+
+An :class:`ExperimentSpec` describes one simulation cell -- algorithm,
+adversary (with parameters), network size, round budget, seed, bandwidth
+policy, engine and end-of-run checks -- as plain data that round-trips
+through ``dict``/JSON.  A :class:`CampaignSpec` describes a whole sweep: a
+``base`` cell plus a ``grid`` of axes whose cartesian product (times the
+``seeds`` list) expands into the concrete cells.
+
+Grid axes come in two flavours::
+
+    {"grid": {"n": [16, 32, 64],                      # a spec field
+              "adversary_params.inserts_per_round": [1, 3],   # dotted path
+              "workload": [                            # a named patch axis
+                  {"adversary": "churn",
+                   "adversary_params": {"inserts_per_round": 3}},
+                  {"adversary": "p2p"}]}}
+
+A dotted key writes into a nested dict field; an axis whose values are dicts
+(and whose name is not a spec field) applies each dict as a patch, letting one
+axis vary several coupled fields at once (e.g. adversary *and* its params).
+
+Every cell has a deterministic :attr:`~ExperimentSpec.cell_id` derived from
+its canonical JSON form, which the result store uses for resume: re-running a
+campaign skips cells whose id already has a stored result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from copy import deepcopy
+from dataclasses import asdict, dataclass, field, fields
+from itertools import product
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .registry import ADVERSARIES, ALGORITHMS, CHECKS
+
+__all__ = ["ExperimentSpec", "CampaignSpec"]
+
+_ENGINES = ("serial", "sharded")
+
+
+@dataclass
+class ExperimentSpec:
+    """One simulation cell, as plain declarative data.
+
+    Attributes:
+        algorithm: registry name of the node algorithm (see
+            :data:`~repro.experiments.registry.ALGORITHMS`).
+        adversary: registry name of the adversary / workload generator.
+        n: number of nodes.
+        rounds: adversary-round budget; ``None`` runs until the adversary's
+            finite schedule is exhausted.
+        seed: RNG seed handed to the adversary builder.
+        adversary_params: extra keyword arguments for the adversary builder.
+        bandwidth_factor: hidden constant of the ``O(log n)`` per-link budget.
+        strict_bandwidth: whether exceeding the budget raises.
+        drain: whether to run quiet rounds until all nodes are consistent
+            after the adversary finishes.
+        engine: ``"serial"`` (:class:`~repro.simulator.runner.SimulationRunner`)
+            or ``"sharded"`` (:class:`~repro.simulator.parallel.ShardedRoundEngine`).
+        num_workers: shard-process count for the sharded engine.
+        record_trace: record the realized schedule for exact replay.
+        checks: names of end-of-run checks (see
+            :data:`~repro.experiments.registry.CHECKS`); serial engine only.
+    """
+
+    algorithm: str = "triangle"
+    adversary: str = "churn"
+    n: int = 16
+    rounds: Optional[int] = None
+    seed: int = 0
+    adversary_params: Dict[str, Any] = field(default_factory=dict)
+    bandwidth_factor: int = 8
+    strict_bandwidth: bool = True
+    drain: bool = True
+    engine: str = "serial"
+    num_workers: int = 2
+    record_trace: bool = True
+    checks: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.checks = tuple(self.checks)
+        self.adversary_params = dict(self.adversary_params)
+        if self.algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; choose from {sorted(ALGORITHMS)}"
+            )
+        if self.adversary not in ADVERSARIES:
+            raise ValueError(
+                f"unknown adversary {self.adversary!r}; choose from {sorted(ADVERSARIES)}"
+            )
+        if self.engine not in _ENGINES:
+            raise ValueError(f"engine must be one of {_ENGINES}, got {self.engine!r}")
+        if self.n < 2:
+            raise ValueError("n must be at least 2")
+        if self.rounds is not None and self.rounds < 0:
+            raise ValueError("rounds must be non-negative")
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be positive")
+        unknown_checks = [c for c in self.checks if c not in CHECKS]
+        if unknown_checks:
+            raise ValueError(
+                f"unknown checks {unknown_checks}; choose from {sorted(CHECKS)}"
+            )
+        if self.checks and self.engine != "serial":
+            raise ValueError(
+                "end-of-run checks need access to the node instances and are "
+                "only supported with engine='serial'"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (JSON-ready; tuples become lists)."""
+        out = asdict(self)
+        out["checks"] = list(self.checks)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        """Build a spec from a dict, rejecting unknown keys."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown ExperimentSpec fields {sorted(unknown)}; known: {sorted(known)}"
+            )
+        return cls(**deepcopy(dict(data)))
+
+    @property
+    def cell_id(self) -> str:
+        """A deterministic, human-scannable id for this cell.
+
+        The readable prefix names the headline axes; the hash suffix covers
+        every field, so two specs differing anywhere get different ids.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        digest = hashlib.sha1(canonical.encode()).hexdigest()[:10]
+        return f"{self.algorithm}-{self.adversary}-n{self.n}-s{self.seed}-{digest}"
+
+
+def _apply_path(cell: Dict[str, Any], dotted: str, value: Any) -> None:
+    """Set ``cell[a][b]... = value`` for a dotted key ``a.b...``."""
+    head, _, rest = dotted.partition(".")
+    if not rest:
+        cell[head] = deepcopy(value)
+        return
+    sub = cell.setdefault(head, {})
+    if not isinstance(sub, dict):
+        raise ValueError(f"grid key {dotted!r} indexes into non-dict field {head!r}")
+    _apply_path(sub, rest, value)
+
+
+@dataclass
+class CampaignSpec:
+    """A named sweep: base cell + grid axes + seeds.
+
+    Attributes:
+        name: campaign name (used for the default results directory).
+        base: default :class:`ExperimentSpec` fields shared by every cell.
+        grid: axis name -> list of values (see module docstring for the three
+            axis flavours).  Axes expand as a cartesian product in insertion
+            order.
+        seeds: seeds to replicate every grid point with; ignored when the
+            grid itself has a ``"seed"`` axis.
+        description: free-text note stored alongside the spec.
+    """
+
+    name: str
+    base: Dict[str, Any] = field(default_factory=dict)
+    grid: Dict[str, List[Any]] = field(default_factory=dict)
+    seeds: List[int] = field(default_factory=lambda: [0])
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("campaign name must be non-empty")
+        for axis, values in self.grid.items():
+            if not isinstance(values, Sequence) or isinstance(values, (str, bytes)):
+                raise ValueError(f"grid axis {axis!r} must map to a list of values")
+            if not values:
+                raise ValueError(f"grid axis {axis!r} has no values")
+        if not self.seeds:
+            raise ValueError("seeds must be non-empty (use [0] for a single run)")
+
+    # ------------------------------------------------------------------ #
+    # Expansion
+    # ------------------------------------------------------------------ #
+    def expand(self) -> List[ExperimentSpec]:
+        """Expand the grid (times seeds) into concrete cells.
+
+        Returns the cells in deterministic order: the cartesian product walks
+        the axes in insertion order, with the seed axis last.
+        """
+        spec_fields = {f.name for f in fields(ExperimentSpec)}
+        axes = list(self.grid.items())
+        implicit_seed = "seed" not in self.grid
+        if implicit_seed:
+            axes.append(("seed", list(self.seeds)))
+        cells: List[ExperimentSpec] = []
+        seen: Dict[str, int] = {}
+        for combo in product(*(values for _, values in axes)):
+            assignments = list(zip(axes, combo))
+            if implicit_seed:
+                # The implicit seed applies first so a patch axis can pin its
+                # own seed (e.g. one RNG stream per named workload).
+                assignments = [assignments[-1]] + assignments[:-1]
+            cell = deepcopy(self.base)
+            for (axis, _), value in assignments:
+                if axis in spec_fields or "." in axis:
+                    _apply_path(cell, axis, value)
+                elif isinstance(value, Mapping):
+                    for key, sub_value in value.items():
+                        _apply_path(cell, key, sub_value)
+                else:
+                    raise ValueError(
+                        f"grid axis {axis!r} is not an ExperimentSpec field, so its "
+                        f"values must be dict patches; got {value!r}"
+                    )
+            spec = ExperimentSpec.from_dict(cell)
+            if spec.cell_id in seen:
+                raise ValueError(
+                    f"grid expansion produced duplicate cell {spec.cell_id} "
+                    f"(combination #{seen[spec.cell_id]} and #{len(cells)})"
+                )
+            seen[spec.cell_id] = len(cells)
+            cells.append(spec)
+        return cells
+
+    @property
+    def num_cells(self) -> int:
+        """Number of cells the grid expands to (without materialising specs)."""
+        size = 1
+        for values in self.grid.values():
+            size *= len(values)
+        if "seed" not in self.grid:
+            size *= len(self.seeds)
+        return size
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "base": deepcopy(self.base),
+            "grid": deepcopy(self.grid),
+            "seeds": list(self.seeds),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown CampaignSpec fields {sorted(unknown)}; known: {sorted(known)}"
+            )
+        return cls(**deepcopy(dict(data)))
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CampaignSpec":
+        """Load a campaign spec from a JSON file."""
+        try:
+            return cls.from_json(Path(path).read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path} is not valid JSON: {exc}") from exc

@@ -1,0 +1,224 @@
+"""Persistent storage and aggregation of campaign results.
+
+A :class:`ResultStore` owns one directory::
+
+    <root>/
+      results.jsonl     # one record per finished cell, appended as cells land
+      traces/<id>.json  # the realized topology trace of each cell
+
+Records are appended (and flushed) the moment a cell finishes, so a campaign
+killed half-way leaves a valid store behind; :meth:`ResultStore.records`
+tolerates a torn final line.  Resume works off :meth:`completed_ids`: the
+campaign runner skips any cell whose id already has an ``ok`` record.
+
+The aggregation helpers reduce the per-cell metrics to per-group statistics
+(mean / p95 across seeds, by default) and render them through
+:func:`repro.analysis.tables.format_table`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..analysis.tables import format_table
+from ..simulator.trace import TopologyTrace
+
+__all__ = ["ResultStore", "percentile"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) with linear interpolation."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return float(ordered[lo])
+    frac = rank - lo
+    return float(ordered[lo] * (1 - frac) + ordered[hi] * frac)
+
+
+def _lookup(record: Mapping[str, Any], dotted: str) -> Any:
+    """Resolve ``spec.n``-style dotted paths into a record.
+
+    Bare names are tried as spec fields first, then as metrics, so the common
+    ``group_by=("algorithm", "n")`` just works.
+    """
+    if "." in dotted:
+        node: Any = record
+        for part in dotted.split("."):
+            if not isinstance(node, Mapping) or part not in node:
+                return None
+            node = node[part]
+        return node
+    spec = record.get("spec", {})
+    if dotted in spec:
+        return spec[dotted]
+    return record.get("metrics", {}).get(dotted)
+
+
+class ResultStore:
+    """JSONL-backed store of per-cell campaign results and traces."""
+
+    RESULTS_FILE = "results.jsonl"
+    TRACES_DIR = "traces"
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.results_path = self.root / self.RESULTS_FILE
+        self.traces_root = self.root / self.TRACES_DIR
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def append(self, record: Mapping[str, Any]) -> None:
+        """Append one cell record, creating the store on first write.
+
+        The line is flushed before returning so a later crash cannot lose it.
+        """
+        if "cell_id" not in record:
+            raise ValueError("record must carry a 'cell_id'")
+        self.root.mkdir(parents=True, exist_ok=True)
+        repair = False
+        if self.results_path.exists():
+            with self.results_path.open("rb") as handle:
+                handle.seek(0, 2)
+                if handle.tell() > 0:
+                    handle.seek(-1, 2)
+                    repair = handle.read(1) != b"\n"
+        with self.results_path.open("a") as handle:
+            if repair:  # a previous append was torn; start a fresh line
+                handle.write("\n")
+            handle.write(json.dumps(dict(record), sort_keys=True) + "\n")
+            handle.flush()
+
+    def save_trace(self, cell_id: str, trace: TopologyTrace | Mapping[str, Any]) -> Path:
+        """Persist a cell's realized topology trace; returns the file path."""
+        self.traces_root.mkdir(parents=True, exist_ok=True)
+        data = trace.to_dict() if isinstance(trace, TopologyTrace) else dict(trace)
+        path = self.trace_path(cell_id)
+        path.write_text(json.dumps(data))
+        return path
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def records(self) -> List[Dict[str, Any]]:
+        """All stored records, oldest first.
+
+        Undecodable lines are skipped: appends are flushed line-by-line, so a
+        corrupt line can only be a torn (interrupted) append, and dropping it
+        simply makes the resume pass re-run that cell.
+        """
+        if not self.results_path.exists():
+            return []
+        out: List[Dict[str, Any]] = []
+        for line in self.results_path.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and "cell_id" in record:
+                out.append(record)
+        return out
+
+    def latest(self) -> Dict[str, Dict[str, Any]]:
+        """The most recent record per cell id (later lines win)."""
+        latest: Dict[str, Dict[str, Any]] = {}
+        for record in self.records():
+            latest[record["cell_id"]] = record
+        return latest
+
+    def completed_ids(self) -> Set[str]:
+        """Cell ids whose latest record finished with ``status == "ok"``."""
+        return {
+            cell_id
+            for cell_id, record in self.latest().items()
+            if record.get("status") == "ok"
+        }
+
+    def trace_path(self, cell_id: str) -> Path:
+        return self.traces_root / f"{cell_id}.json"
+
+    def load_trace(self, cell_id: str) -> TopologyTrace:
+        """Load the recorded trace of a completed cell."""
+        path = self.trace_path(cell_id)
+        if not path.exists():
+            raise FileNotFoundError(f"no trace stored for cell {cell_id}")
+        return TopologyTrace.from_dict(json.loads(path.read_text()))
+
+    # ------------------------------------------------------------------ #
+    # Aggregation
+    # ------------------------------------------------------------------ #
+    def aggregate(
+        self,
+        *,
+        group_by: Sequence[str] = ("algorithm", "adversary", "n"),
+        metrics: Sequence[str] = ("amortized_round_complexity",),
+        records: Optional[Iterable[Mapping[str, Any]]] = None,
+    ) -> Tuple[List[str], List[List[Any]]]:
+        """Reduce per-cell metrics to per-group mean / p95 statistics.
+
+        Args:
+            group_by: spec fields (dotted paths allowed) defining the groups;
+                by default one group per (algorithm, adversary, n) -- i.e.
+                seeds are the replicates being averaged.
+            metrics: metric names to aggregate (dotted paths allowed).
+            records: records to aggregate; defaults to the latest ``ok``
+                record of every stored cell.
+
+        Returns:
+            ``(headers, rows)`` ready for
+            :func:`~repro.analysis.tables.format_table`, sorted by group key.
+        """
+        if records is None:
+            records = [r for r in self.latest().values() if r.get("status") == "ok"]
+        groups: Dict[Tuple, List[Mapping[str, Any]]] = {}
+        for record in records:
+            key = tuple(_lookup(record, field) for field in group_by)
+            groups.setdefault(key, []).append(record)
+        headers = list(group_by) + ["cells"]
+        for metric in metrics:
+            headers += [f"mean {metric}", f"p95 {metric}"]
+        rows: List[List[Any]] = []
+        def sort_key(key: Tuple) -> Tuple:
+            # numbers sort numerically, everything else lexically, mixed
+            # columns sort numbers first (so n=8 < n=16 < n=128)
+            return tuple(
+                (0, float(part), "")
+                if isinstance(part, (int, float)) and not isinstance(part, bool)
+                else (1, 0.0, str(part))
+                for part in key
+            )
+
+        for key in sorted(groups, key=sort_key):
+            members = groups[key]
+            row: List[Any] = list(key) + [len(members)]
+            for metric in metrics:
+                values = [
+                    float(v)
+                    for v in (_lookup(r, metric) for r in members)
+                    if v is not None
+                ]
+                if values:
+                    row += [sum(values) / len(values), percentile(values, 95)]
+                else:
+                    row += ["-", "-"]
+            rows.append(row)
+        return headers, rows
+
+    def format_aggregate(self, **kwargs: Any) -> str:
+        """Render :meth:`aggregate` as an aligned plain-text table."""
+        headers, rows = self.aggregate(**kwargs)
+        return format_table(headers, rows)

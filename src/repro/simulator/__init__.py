@@ -40,7 +40,7 @@ from .network import DynamicNetwork, NodeIndication, TopologyError
 from .node import AlgorithmFactory, NodeAlgorithm
 from .parallel import ShardedRoundEngine, shard_nodes
 from .rounds import MessageTargetError, RoundEngine
-from .runner import RoundValidator, SimulationResult, SimulationRunner
+from .runner import RoundValidator, SimulationResult, SimulationRunner, drive_engine
 from .trace import TopologyTrace, TraceRecordingAdversary, TraceReplayAdversary
 
 __all__ = [
@@ -51,6 +51,7 @@ __all__ = [
     "BandwidthPolicy",
     "BandwidthViolation",
     "canonical_edge",
+    "drive_engine",
     "DynamicNetwork",
     "Edge",
     "EdgeDelete",

@@ -22,7 +22,7 @@ from .node import AlgorithmFactory, NodeAlgorithm
 from .rounds import RoundEngine
 from .trace import TopologyTrace, TraceRecordingAdversary
 
-__all__ = ["RoundValidator", "SimulationResult", "SimulationRunner"]
+__all__ = ["RoundValidator", "SimulationResult", "SimulationRunner", "drive_engine"]
 
 #: A per-round validation hook: ``validator(round_index, network, nodes)``.
 #: Validators are called after the query window of every round and should
@@ -59,6 +59,60 @@ class SimulationResult:
         for key, value in self.bandwidth.summary(self.network.n).items():
             out[f"bandwidth_{key}"] = float(value)
         return out
+
+
+def drive_engine(
+    engine,
+    adversary: Adversary,
+    *,
+    num_rounds: Optional[int] = None,
+    drain: bool = True,
+    max_drain_rounds: int = 10_000,
+    after_round: Optional[Callable[[], None]] = None,
+) -> int:
+    """Drive any round engine against an adversary; returns rounds executed.
+
+    Works with every object exposing the round-engine surface (``network``,
+    ``all_consistent``, ``execute_round``, ``execute_quiet_round``) -- both
+    :class:`~repro.simulator.rounds.RoundEngine` and
+    :class:`~repro.simulator.parallel.ShardedRoundEngine`.  ``after_round``
+    runs after every executed round, including drain rounds (the runner hooks
+    its validators here).
+    """
+    if num_rounds is None and not hasattr(adversary, "is_done"):
+        raise ValueError("num_rounds is required for open-ended adversaries")
+
+    executed = 0
+    while True:
+        if num_rounds is not None and executed >= num_rounds:
+            break
+        if adversary.is_done:
+            break
+        view = AdversaryView.from_network(
+            engine.network,
+            round_index=engine.network.round_index + 1,
+            all_consistent=engine.all_consistent,
+        )
+        changes = adversary.changes_for_round(view)
+        if changes is None:
+            break
+        engine.execute_round(changes)
+        executed += 1
+        if after_round is not None:
+            after_round()
+
+    if drain:
+        drained = 0
+        while not engine.all_consistent:
+            if drained >= max_drain_rounds:
+                raise RuntimeError(
+                    f"nodes still inconsistent after {max_drain_rounds} drain rounds"
+                )
+            engine.execute_quiet_round()
+            drained += 1
+            if after_round is not None:
+                after_round()
+    return executed
 
 
 class SimulationRunner:
@@ -134,37 +188,14 @@ class SimulationRunner:
         Returns:
             The :class:`SimulationResult`.
         """
-        if num_rounds is None and not hasattr(self.adversary, "is_done"):
-            raise ValueError("num_rounds is required for open-ended adversaries")
-
-        executed = 0
-        while True:
-            if num_rounds is not None and executed >= num_rounds:
-                break
-            if self.adversary.is_done:
-                break
-            view = AdversaryView.from_network(
-                self.network,
-                round_index=self.network.round_index + 1,
-                all_consistent=self.engine.all_consistent,
-            )
-            changes = self.adversary.changes_for_round(view)
-            if changes is None:
-                break
-            self.engine.execute_round(changes)
-            executed += 1
-            self._run_validators()
-
-        if drain:
-            drained = 0
-            while not self.engine.all_consistent:
-                if drained >= max_drain_rounds:
-                    raise RuntimeError(
-                        f"nodes still inconsistent after {max_drain_rounds} drain rounds"
-                    )
-                self.engine.execute_quiet_round()
-                drained += 1
-                self._run_validators()
+        drive_engine(
+            self.engine,
+            self.adversary,
+            num_rounds=num_rounds,
+            drain=drain,
+            max_drain_rounds=max_drain_rounds,
+            after_round=self._run_validators,
+        )
 
         trace = None
         if isinstance(self.adversary, TraceRecordingAdversary):

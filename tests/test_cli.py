@@ -1,8 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import ALGORITHMS, build_parser, main
+from repro.cli import ALGORITHMS, build_campaign_parser, build_parser, main
 
 
 class TestParser:
@@ -68,3 +70,123 @@ class TestMain:
         )
         assert code == 0
         assert "inconsistent_rounds" in capsys.readouterr().out
+
+
+class TestNewAdversaries:
+    """Every implemented adversary is reachable from the command line."""
+
+    def test_adversary_choices_cover_all_implemented(self):
+        from repro.experiments import ADVERSARIES
+
+        action = next(
+            a for a in build_parser()._actions if getattr(a, "dest", "") == "adversary"
+        )
+        assert set(action.choices) == set(ADVERSARIES)
+        assert {"flicker", "threepath", "theorem4", "scripted"} <= set(action.choices)
+
+    def test_flicker_adversary(self, capsys):
+        code = main(["--algorithm", "triangle", "--adversary", "flicker", "--nodes", "12", "--rounds", "60"])
+        assert code == 0
+        assert "amortized_round_complexity" in capsys.readouterr().out
+
+    def test_threepath_adversary(self, capsys):
+        code = main(["--algorithm", "null", "--adversary", "threepath", "--nodes", "16", "--rounds", "40"])
+        assert code == 0
+
+    def test_scripted_requires_trace(self):
+        with pytest.raises(SystemExit):
+            main(["--adversary", "scripted", "--nodes", "10", "--rounds", "10"])
+
+    def test_save_trace_then_replay(self, tmp_path, capsys):
+        trace_file = tmp_path / "trace.json"
+        code = main(
+            [
+                "--algorithm", "triangle", "--adversary", "churn",
+                "--nodes", "10", "--rounds", "20", "--seed", "3",
+                "--save-trace", str(trace_file),
+            ]
+        )
+        assert code == 0 and trace_file.exists()
+        first = capsys.readouterr().out
+        code = main(
+            [
+                "--algorithm", "triangle", "--adversary", "scripted",
+                "--trace", str(trace_file), "--nodes", "10", "--rounds", "20",
+            ]
+        )
+        assert code == 0
+        replay = capsys.readouterr().out
+
+        def metric(out, name):
+            for line in out.splitlines():
+                if line.startswith(name):
+                    return line.split()[-1]
+            raise AssertionError(f"{name} not in output")
+
+        assert metric(replay, "total_changes") == metric(first, "total_changes")
+        assert metric(replay, "inconsistent_rounds") == metric(first, "inconsistent_rounds")
+
+
+class TestCampaignSubcommand:
+    @pytest.fixture
+    def spec_file(self, tmp_path):
+        spec = {
+            "name": "cli-smoke",
+            "base": {
+                "algorithm": "triangle",
+                "adversary": "churn",
+                "rounds": 25,
+                "adversary_params": {"inserts_per_round": 3, "deletes_per_round": 2},
+            },
+            "grid": {"n": [10, 12]},
+            "seeds": [0, 1],
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        return path
+
+    def test_campaign_parser_defaults(self, spec_file):
+        args = build_campaign_parser().parse_args(["--spec", str(spec_file)])
+        assert args.jobs == 1 and not args.no_resume
+
+    def test_list_cells(self, spec_file, capsys):
+        code = main(["campaign", "--spec", str(spec_file), "--list"])
+        assert code == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 4
+        assert all(line.startswith("triangle-churn-") for line in out)
+
+    def test_run_and_resume(self, spec_file, tmp_path, capsys):
+        out_dir = tmp_path / "store"
+        code = main(["campaign", "--spec", str(spec_file), "--jobs", "2", "--out", str(out_dir)])
+        assert code == 0
+        first = capsys.readouterr().out
+        assert "ran 4 cells, skipped 0" in first
+        assert "mean amortized_round_complexity" in first
+        assert (out_dir / "results.jsonl").exists()
+        assert len(list((out_dir / "traces").glob("*.json"))) == 4
+
+        code = main(["campaign", "--spec", str(spec_file), "--jobs", "2", "--out", str(out_dir)])
+        assert code == 0
+        assert "ran 0 cells, skipped 4" in capsys.readouterr().out
+
+    def test_missing_spec_file(self, tmp_path, capsys):
+        code = main(["campaign", "--spec", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_failing_cell_sets_exit_code(self, tmp_path, capsys):
+        spec = {
+            "name": "cli-fail",
+            "base": {
+                "algorithm": "triangle",
+                "adversary": "scripted",
+                "adversary_params": {"trace_path": str(tmp_path / "missing-trace.json")},
+            },
+            "grid": {"n": [12]},
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        code = main(["campaign", "--spec", str(path), "--out", str(tmp_path / "store")])
+        assert code == 1
+        assert "1 failed" in capsys.readouterr().out

@@ -1,0 +1,155 @@
+"""Tests for the JSONL result store and its aggregation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ResultStore, percentile
+from repro.simulator import TopologyTrace
+
+
+def _record(cell_id, *, n=16, seed=0, status="ok", amortized=1.0):
+    return {
+        "cell_id": cell_id,
+        "spec": {"algorithm": "triangle", "adversary": "churn", "n": n, "seed": seed},
+        "status": status,
+        "metrics": {"amortized_round_complexity": amortized},
+        "error": None,
+    }
+
+
+class TestPercentile:
+    def test_single_value(self):
+        assert percentile([4.0], 95) == 4.0
+
+    def test_median(self):
+        assert percentile([1.0, 2.0, 3.0], 50) == 2.0
+
+    def test_interpolates(self):
+        assert percentile([0.0, 10.0], 95) == pytest.approx(9.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+
+class TestAppendAndRead:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.append(_record("a"))
+        store.append(_record("b"))
+        assert [r["cell_id"] for r in store.records()] == ["a", "b"]
+
+    def test_empty_store(self, tmp_path):
+        store = ResultStore(tmp_path / "missing")
+        assert store.records() == []
+        assert store.completed_ids() == set()
+
+    def test_record_needs_cell_id(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        with pytest.raises(ValueError, match="cell_id"):
+            store.append({"status": "ok"})
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.append(_record("a"))
+        with store.results_path.open("a") as handle:
+            handle.write('{"cell_id": "b", "status": "o')  # interrupted append
+        assert [r["cell_id"] for r in store.records()] == ["a"]
+        # the store stays appendable after the torn write
+        store.append(_record("c"))
+        assert {r["cell_id"] for r in store.records()} == {"a", "c"}
+
+    def test_corrupt_middle_line_is_skipped(self, tmp_path):
+        # a torn append can end up mid-file once later appends land after it;
+        # the reader drops it so the resume pass simply re-runs that cell
+        store = ResultStore(tmp_path / "s")
+        store.append(_record("a"))
+        with store.results_path.open("a") as handle:
+            handle.write("garbage\n")
+        store.append(_record("b"))
+        assert [r["cell_id"] for r in store.records()] == ["a", "b"]
+
+
+class TestCompletionAndLatest:
+    def test_error_records_do_not_complete(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.append(_record("a", status="error"))
+        store.append(_record("b"))
+        assert store.completed_ids() == {"b"}
+
+    def test_later_record_wins(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.append(_record("a", status="error"))
+        store.append(_record("a", status="ok", amortized=2.0))
+        assert store.completed_ids() == {"a"}
+        assert store.latest()["a"]["metrics"]["amortized_round_complexity"] == 2.0
+
+
+class TestTraces:
+    def test_save_load_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        trace = TopologyTrace(n=4)
+        trace.rounds.append(([(0, 1), (1, 2)], []))
+        trace.rounds.append(([], [(0, 1)]))
+        store.save_trace("cell-x", trace)
+        loaded = store.load_trace("cell-x")
+        assert loaded.to_dict() == trace.to_dict()
+
+    def test_accepts_plain_dict(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        trace = TopologyTrace(n=3)
+        trace.rounds.append(([(0, 2)], []))
+        store.save_trace("cell-y", trace.to_dict())
+        assert store.load_trace("cell-y").to_dict() == trace.to_dict()
+
+    def test_missing_trace_raises(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        with pytest.raises(FileNotFoundError):
+            store.load_trace("nope")
+
+
+class TestAggregation:
+    def test_mean_and_p95_per_group(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        for seed, value in enumerate([1.0, 2.0, 3.0]):
+            store.append(_record(f"a{seed}", n=16, seed=seed, amortized=value))
+        store.append(_record("b0", n=32, seed=0, amortized=10.0))
+        headers, rows = store.aggregate(group_by=("n",))
+        assert headers == ["n", "cells", "mean amortized_round_complexity", "p95 amortized_round_complexity"]
+        by_n = {row[0]: row for row in rows}
+        assert by_n[16][1] == 3
+        assert by_n[16][2] == pytest.approx(2.0)
+        assert by_n[16][3] == pytest.approx(percentile([1.0, 2.0, 3.0], 95))
+        assert by_n[32][2] == pytest.approx(10.0)
+
+    def test_error_cells_excluded(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.append(_record("a", amortized=1.0))
+        store.append(_record("b", status="error", amortized=99.0))
+        _, rows = store.aggregate(group_by=("n",))
+        assert rows[0][1] == 1
+
+    def test_missing_metric_renders_dash(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.append(_record("a"))
+        _, rows = store.aggregate(group_by=("n",), metrics=("no_such_metric",))
+        assert rows[0][2:] == ["-", "-"]
+
+    def test_numeric_groups_sort_numerically(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        for i, n in enumerate([128, 8, 16]):
+            store.append(_record(f"c{i}", n=n))
+        _, rows = store.aggregate(group_by=("n",))
+        assert [row[0] for row in rows] == [8, 16, 128]
+
+    def test_format_aggregate_renders_table(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.append(_record("a"))
+        text = store.format_aggregate(group_by=("algorithm", "n"))
+        assert "algorithm" in text and "mean amortized_round_complexity" in text
+        assert "triangle" in text
