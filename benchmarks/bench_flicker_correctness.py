@@ -5,55 +5,65 @@ against the paper's structures (robust 2-hop and triangle membership), and
 tabulates who ends up believing what about the deleted far edge.  The expected
 shape: the strawman is consistent-but-wrong, the paper's structures are
 consistent-and-right, at identical amortized cost.
+
+The three runs are one campaign (algorithm axis over the registered
+``flicker`` adversary); the per-node verdict comes from the ``flicker_ghost``
+end-of-run check, so the metrics are byte-identical to the previous bespoke
+runner while results and traces land under ``benchmarks/results/``.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.adversary import FlickerTriangleAdversary
-from repro.core import (
-    NaiveForwardingNode,
-    RobustTwoHopNode,
-    TriangleMembershipNode,
-)
+from repro.experiments import CampaignRunner, CampaignSpec, ExperimentSpec, ResultStore, run_cell
 
-from benchmarks.harness import emit_table, run_experiment
+from benchmarks.harness import RESULTS_DIR, emit_table
 
-ALGORITHMS = [
-    ("naive forwarding (Section 1.3 strawman)", NaiveForwardingNode, True),
-    ("robust 2-hop (Theorem 7)", RobustTwoHopNode, False),
-    ("triangle membership (Theorem 1)", TriangleMembershipNode, False),
+ALGORITHM_LABELS = [
+    ("naive", "naive forwarding (Section 1.3 strawman)", True),
+    ("robust2hop", "robust 2-hop (Theorem 7)", False),
+    ("triangle", "triangle membership (Theorem 1)", False),
 ]
 
-
-def _run(factory):
-    adversary = FlickerTriangleAdversary()
-    result = run_experiment(factory, adversary, 9)
-    node_v = result.nodes[adversary.v]
-    believes = node_v.knows_edge(*adversary.doomed_edge)
-    return result, believes, node_v.is_consistent()
+CAMPAIGN = CampaignSpec(
+    name="E10_flicker_correctness",
+    base={"adversary": "flicker", "n": 9, "checks": ["flicker_ghost"]},
+    grid={"algorithm": [name for name, _, _ in ALGORITHM_LABELS]},
+)
 
 
-@pytest.mark.parametrize("label,factory,expect_wrong", ALGORITHMS)
-def test_flicker(benchmark, label, factory, expect_wrong):
-    result, believes_ghost, consistent = benchmark.pedantic(_run, args=(factory,), rounds=1, iterations=1)
-    benchmark.extra_info["believes_deleted_edge"] = believes_ghost
-    assert consistent
-    assert believes_ghost is expect_wrong
+def _cell(algorithm: str) -> ExperimentSpec:
+    return ExperimentSpec.from_dict({**CAMPAIGN.base, "algorithm": algorithm})
+
+
+@pytest.mark.parametrize("algorithm,label,expect_wrong", ALGORITHM_LABELS)
+def test_flicker(benchmark, algorithm, label, expect_wrong):
+    metrics, _ = benchmark.pedantic(run_cell, args=(_cell(algorithm),), rounds=1, iterations=1)
+    benchmark.extra_info["believes_deleted_edge"] = metrics["believes_deleted_edge"]
+    assert metrics["node_v_consistent"] == 1.0
+    assert (metrics["believes_deleted_edge"] == 1.0) is expect_wrong
 
 
 def _emit_table_impl():
+    store = ResultStore(RESULTS_DIR / "campaign_E10_flicker")
+    report = CampaignRunner(CAMPAIGN, store).run(resume=False)
+    assert not report.failed, report.failed
+    by_id = {record["cell_id"]: record for record in report.records}
+
+    labels = {name: (label, expect_wrong) for name, label, expect_wrong in ALGORITHM_LABELS}
     rows = []
-    for label, factory, expect_wrong in ALGORITHMS:
-        result, believes_ghost, consistent = _run(factory)
+    for cell in CAMPAIGN.expand():
+        label, expect_wrong = labels[cell.algorithm]
+        metrics = by_id[cell.cell_id]["metrics"]
+        believes_ghost = metrics["believes_deleted_edge"] == 1.0
         rows.append(
             [
                 label,
-                consistent,
+                metrics["node_v_consistent"] == 1.0,
                 believes_ghost,
                 "WRONG" if believes_ghost else "correct",
-                round(result.amortized_round_complexity, 4),
+                round(metrics["amortized_round_complexity"], 4),
             ]
         )
         assert believes_ghost is expect_wrong

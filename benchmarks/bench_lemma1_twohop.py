@@ -6,56 +6,65 @@ the worst case for this algorithm) across network sizes, fits the measurements
 against the reference growth models, and checks that ``n / log n`` explains
 them better than a constant does -- i.e. the upper bound of Lemma 1 and the
 lower bound of Corollary 2 meet.
+
+The sweep is one campaign cell per network size (the growing-star schedule is
+the registered ``growing_star`` adversary), executed through the
+experiment-campaign subsystem with per-cell results and traces landing under
+``benchmarks/results/`` -- metrics are byte-identical to the previous bespoke
+runner.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.adversary import WAIT_FOR_STABILITY, ScheduleAdversary
 from repro.analysis import compare_models
-from repro.core import TwoHopListingNode
-from repro.simulator import RoundChanges
+from repro.experiments import CampaignRunner, CampaignSpec, ExperimentSpec, ResultStore, run_cell
 
-from benchmarks.harness import emit_table, run_experiment
+from benchmarks.harness import RESULTS_DIR, emit_table
 
 SIZES = [16, 32, 64, 128]
 
+CAMPAIGN = CampaignSpec(
+    name="E7_lemma1_twohop",
+    base={"algorithm": "twohop", "adversary": "growing_star"},
+    grid={"n": SIZES},
+)
 
-def _star_schedule(n: int):
-    for i in range(1, n):
-        yield RoundChanges.inserts([(0, i)])
-        yield WAIT_FOR_STABILITY
 
-
-def _run(n: int):
-    return run_experiment(TwoHopListingNode, ScheduleAdversary(_star_schedule(n)), n)
+def _cell(n: int) -> ExperimentSpec:
+    return ExperimentSpec.from_dict({**CAMPAIGN.base, "n": n})
 
 
 @pytest.mark.parametrize("n", [16, 64])
 def test_growing_star(benchmark, n):
-    result = benchmark.pedantic(_run, args=(n,), rounds=1, iterations=1)
-    benchmark.extra_info["amortized_round_complexity"] = result.amortized_round_complexity
+    metrics, _ = benchmark.pedantic(run_cell, args=(_cell(n),), rounds=1, iterations=1)
+    benchmark.extra_info["amortized_round_complexity"] = metrics["amortized_round_complexity"]
 
 
 def _emit_table_impl():
+    store = ResultStore(RESULTS_DIR / "campaign_E7_lemma1")
+    report = CampaignRunner(CAMPAIGN, store).run(resume=False)
+    assert not report.failed, report.failed
+    by_id = {record["cell_id"]: record for record in report.records}
+
     rows = []
     sizes = []
     values = []
-    for n in SIZES:
-        result = _run(n)
+    for cell in CAMPAIGN.expand():
+        metrics = by_id[cell.cell_id]["metrics"]
         rows.append(
             [
-                n,
-                result.metrics.total_changes,
-                result.metrics.inconsistent_rounds,
-                round(result.amortized_round_complexity, 4),
-                result.bandwidth.max_observed_bits,
-                result.bandwidth.budget_bits(n),
+                cell.n,
+                int(metrics["total_changes"]),
+                int(metrics["inconsistent_rounds"]),
+                round(metrics["amortized_round_complexity"], 4),
+                int(metrics["bandwidth_max_observed_bits"]),
+                int(metrics["bandwidth_budget_bits"]),
             ]
         )
-        sizes.append(n)
-        values.append(result.amortized_round_complexity)
+        sizes.append(cell.n)
+        values.append(metrics["amortized_round_complexity"])
     emit_table(
         "E7_lemma1_twohop_listing",
         ["n", "changes", "inconsistent rounds", "amortized rounds", "max msg bits", "budget bits"],

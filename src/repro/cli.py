@@ -38,7 +38,7 @@ from .experiments import (
     ResultStore,
     build_adversary,
 )
-from .simulator import SimulationRunner
+from .simulator import ENGINE_MODES, SimulationRunner
 
 __all__ = ["main", "build_parser", "build_campaign_parser", "campaign_main"]
 
@@ -64,6 +64,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--nodes", type=int, default=30)
     parser.add_argument("--rounds", type=int, default=200)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--engine",
+        choices=sorted(ENGINE_MODES),
+        default="sparse",
+        help="round scheduler: 'sparse' only visits active nodes (default), "
+        "'dense' visits every node every round; both produce identical results",
+    )
     parser.add_argument("--inserts-per-round", type=int, default=2)
     parser.add_argument("--deletes-per-round", type=int, default=1)
     parser.add_argument(
@@ -128,6 +135,7 @@ def _run_single(args: argparse.Namespace) -> int:
         bandwidth_factor=args.bandwidth_factor,
         strict_bandwidth=not args.loose_bandwidth,
         record_trace=args.save_trace is not None,
+        engine_mode=args.engine,
     )
     result = runner.run(num_rounds=args.rounds)
     if args.save_trace is not None:

@@ -106,6 +106,11 @@ class NaiveForwardingNode(NodeAlgorithm):
     def is_consistent(self) -> bool:
         return self.consistent
 
+    def is_quiescent(self) -> bool:
+        # Same shape as the paper's structures: empty queue and a consistent
+        # verdict mean the hooks would be no-ops until new input arrives.
+        return self.consistent and not self.Q
+
     def knows_edge(self, u: int, w: int) -> bool:
         """Whether the edge ``{u, w}`` is believed to exist (incident or heard of)."""
         edge = canonical_edge(u, w)
@@ -196,6 +201,11 @@ class FullBroadcastNode(NodeAlgorithm):
         # The broadcast baseline never declares inconsistency; its answers are
         # correct up to the one-round staleness inherent to the model.
         return True
+
+    def is_quiescent(self) -> bool:
+        # Once the pending snapshot broadcast is out the node has nothing to
+        # send and ignores empty receives.
+        return not self._dirty
 
     def query(self, query: Any) -> QueryResult:
         if isinstance(query, (EdgeQuery, TriangleQuery)):

@@ -184,6 +184,12 @@ class RobustTwoHopNode(NodeAlgorithm):
     def is_consistent(self) -> bool:
         return self.consistent
 
+    def is_quiescent(self) -> bool:
+        # With an empty queue the node composes only silent envelopes, and a
+        # consistent node's verdict is unchanged by an empty receive -- so
+        # skipping its hooks is a no-op until an indication or message arrives.
+        return self.consistent and not self.Q
+
     def knows_edge(self, u: int, w: int) -> bool:
         """Whether the edge ``{u, w}`` is currently known (incident or claimed)."""
         edge = canonical_edge(u, w)

@@ -265,6 +265,19 @@ class RobustThreeHopNode(NodeAlgorithm):
     # ------------------------------------------------------------------ #
     # Query window
     # ------------------------------------------------------------------ #
+    def is_quiescent(self) -> bool:
+        # The two-round consistency rule keeps extra state between rounds:
+        # besides an empty queue and a consistent verdict, the node must have
+        # seen a clean previous round and must not owe its neighbors an
+        # AreNeighborsEmpty = false report -- otherwise the next (empty) round
+        # would still flip one of these flags and must not be skipped.
+        return (
+            self.consistent
+            and not self.Q
+            and self._prev_round_clean
+            and not self._neighbor_reported_nonempty_prev
+        )
+
     def is_consistent(self) -> bool:
         return self.consistent
 

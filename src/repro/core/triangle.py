@@ -279,6 +279,11 @@ class TriangleMembershipNode(NodeAlgorithm):
     def is_consistent(self) -> bool:
         return self.consistent
 
+    def is_quiescent(self) -> bool:
+        # Empty queue => only silent envelopes would be composed; consistent
+        # => an empty receive leaves the verdict at True.  Skipping is a no-op.
+        return self.consistent and not self.Q
+
     def knows_edge(self, u: int, w: int) -> bool:
         """Whether the edge ``{u, w}`` is currently known (incident or claimed)."""
         edge = canonical_edge(u, w)

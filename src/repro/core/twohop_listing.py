@@ -205,6 +205,11 @@ class TwoHopListingNode(NodeAlgorithm):
     def is_consistent(self) -> bool:
         return self.consistent
 
+    def is_quiescent(self) -> bool:
+        # All per-neighbor queues drained and a consistent verdict: composing
+        # would emit only silent envelopes and an empty receive is a no-op.
+        return self.consistent and all(not q for q in self.out_queues.values())
+
     def knows_edge(self, u: int, w: int) -> bool:
         """Whether the edge ``{u, w}`` exists according to the 2-hop knowledge."""
         edge = canonical_edge(u, w)

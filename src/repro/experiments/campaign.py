@@ -64,6 +64,7 @@ def run_cell(spec: ExperimentSpec) -> Tuple[Dict[str, float], Optional[TopologyT
         bandwidth_factor=spec.bandwidth_factor,
         strict_bandwidth=spec.strict_bandwidth,
         record_trace=spec.record_trace,
+        engine_mode=spec.engine_mode,
     )
     result = runner.run(num_rounds=spec.rounds, drain=spec.drain)
     metrics = result.summary()
@@ -82,6 +83,7 @@ def _run_sharded(spec, adversary) -> Tuple[Dict[str, float], Optional[TopologyTr
         ALGORITHMS[spec.algorithm],
         num_workers=spec.num_workers,
         bandwidth=bandwidth,
+        mode=spec.engine_mode,
     ) as engine:
         drive_engine(engine, adversary, num_rounds=spec.rounds, drain=spec.drain)
         metrics = dict(engine.metrics.summary())

@@ -22,12 +22,14 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Mapping, Sequence
 
 from ..adversary import (
+    WAIT_FOR_STABILITY,
     BatchInsertAdversary,
     CycleLowerBoundAdversary,
     FlickerTriangleAdversary,
     HeavyTailedChurnAdversary,
     MembershipLowerBoundAdversary,
     RandomChurnAdversary,
+    ScheduleAdversary,
     ThreePathLowerBoundAdversary,
 )
 from ..core import (
@@ -48,7 +50,7 @@ from ..oracle import (
     triangle_pattern_set,
     triangles_containing,
 )
-from ..simulator import Adversary, Envelope, NodeAlgorithm
+from ..simulator import Adversary, Envelope, NodeAlgorithm, RoundChanges
 from ..simulator.runner import SimulationResult
 from ..simulator.trace import TopologyTrace, TraceReplayAdversary
 from ..workloads import (
@@ -98,6 +100,9 @@ class NullWorkloadNode(NodeAlgorithm):
         pass
 
     def is_consistent(self) -> bool:
+        return True
+
+    def is_quiescent(self) -> bool:
         return True
 
     def query(self, query: Any) -> Any:
@@ -202,6 +207,26 @@ def _build_growing(n, rounds, seed, params):
     return growing_random_graph(n, num_edges, seed=seed, **params)
 
 
+def _build_growing_star(n, rounds, seed, params):
+    """A star grown one leaf per phase, waiting for stability in between.
+
+    The Lemma 1 worst case (experiment E7): every insertion at the hub forces
+    a fresh neighborhood snapshot towards the new leaf.
+    """
+    center = int(params.pop("center", 0))
+    if params:
+        raise ValueError(f"unexpected growing_star params: {sorted(params)}")
+
+    def schedule():
+        for leaf in range(n):
+            if leaf == center:
+                continue
+            yield RoundChanges.inserts([(center, leaf)])
+            yield WAIT_FOR_STABILITY
+
+    return ScheduleAdversary(schedule())
+
+
 ADVERSARIES: Dict[str, AdversaryBuilder] = {
     "churn": _build_churn,
     "p2p": _build_p2p,
@@ -214,6 +239,7 @@ ADVERSARIES: Dict[str, AdversaryBuilder] = {
     "planted_clique": _build_planted_clique,
     "planted_cycle": _build_planted_cycle,
     "growing": _build_growing,
+    "growing_star": _build_growing_star,
 }
 
 
@@ -271,10 +297,34 @@ def _check_coverage(result: SimulationResult) -> Dict[str, float]:
     }
 
 
+def _check_flicker_ghost(result: SimulationResult) -> Dict[str, float]:
+    """The Section 1.3 verdict: does node ``v`` still believe the deleted far edge?
+
+    Assumes the default :class:`~repro.adversary.FlickerTriangleAdversary`
+    geometry (``v=0``, far edge ``{1, 2}``) and an algorithm exposing
+    ``knows_edge`` -- i.e. the E10 cast of naive / robust2hop / triangle.
+    A run whose final graph does not carry the default gadget's signature
+    (edges ``{0,1}`` and ``{0,2}`` present, ``{1,2}`` deleted) fails loudly
+    rather than grading the wrong node.
+    """
+    network = result.network
+    if not (network.has_edge(0, 1) and network.has_edge(0, 2)) or network.has_edge(1, 2):
+        raise ValueError(
+            "flicker_ghost assumes the default flicker geometry (v=0, far edge {1, 2}); "
+            "relocated v/u/w adversary_params are not supported by this check"
+        )
+    node_v = result.nodes[0]
+    return {
+        "believes_deleted_edge": 1.0 if node_v.knows_edge(1, 2) else 0.0,
+        "node_v_consistent": 1.0 if node_v.is_consistent() else 0.0,
+    }
+
+
 CHECKS: Dict[str, ResultCheck] = {
     "consistent": _check_consistent,
     "triangle_oracle": _check_triangle_oracle,
     "coverage": _check_coverage,
+    "flicker_ghost": _check_flicker_ghost,
 }
 
 

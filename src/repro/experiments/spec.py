@@ -35,6 +35,7 @@ from itertools import product
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..simulator.rounds import ENGINE_MODES
 from .registry import ADVERSARIES, ALGORITHMS, CHECKS
 
 __all__ = ["ExperimentSpec", "CampaignSpec"]
@@ -61,6 +62,11 @@ class ExperimentSpec:
             after the adversary finishes.
         engine: ``"serial"`` (:class:`~repro.simulator.runner.SimulationRunner`)
             or ``"sharded"`` (:class:`~repro.simulator.parallel.ShardedRoundEngine`).
+        engine_mode: round-scheduling mode, ``"sparse"`` (default;
+            activity-proportional, only active nodes are visited) or
+            ``"dense"`` (every node every round).  Both modes produce
+            bit-identical metrics and traces, so this axis is safe to sweep
+            for performance studies.
         num_workers: shard-process count for the sharded engine.
         record_trace: record the realized schedule for exact replay.
         checks: names of end-of-run checks (see
@@ -77,6 +83,7 @@ class ExperimentSpec:
     strict_bandwidth: bool = True
     drain: bool = True
     engine: str = "serial"
+    engine_mode: str = "sparse"
     num_workers: int = 2
     record_trace: bool = True
     checks: Tuple[str, ...] = ()
@@ -94,6 +101,10 @@ class ExperimentSpec:
             )
         if self.engine not in _ENGINES:
             raise ValueError(f"engine must be one of {_ENGINES}, got {self.engine!r}")
+        if self.engine_mode not in ENGINE_MODES:
+            raise ValueError(
+                f"engine_mode must be one of {ENGINE_MODES}, got {self.engine_mode!r}"
+            )
         if self.n < 2:
             raise ValueError("n must be at least 2")
         if self.rounds is not None and self.rounds < 0:

@@ -48,7 +48,7 @@ from .simulator import (
     MetricsCollector,
     NodeAlgorithm,
     RoundChanges,
-    RoundEngine,
+    create_engine,
 )
 
 __all__ = ["MonitorAnswer", "DynamicGraphMonitor", "STRUCTURES"]
@@ -101,6 +101,8 @@ class DynamicGraphMonitor:
         bandwidth_factor: per-link budget multiplier (``factor * ceil(log2 n)``
             bits per round).
         strict_bandwidth: raise if a message exceeds the budget (default).
+        engine_mode: ``"sparse"`` (default, activity-proportional rounds) or
+            ``"dense"``; identical results either way.
     """
 
     def __init__(
@@ -110,6 +112,7 @@ class DynamicGraphMonitor:
         *,
         bandwidth_factor: int = 8,
         strict_bandwidth: bool = True,
+        engine_mode: str = "sparse",
     ) -> None:
         if isinstance(structure, str):
             try:
@@ -124,7 +127,8 @@ class DynamicGraphMonitor:
         self.structure_name = structure if isinstance(structure, str) else factory.__name__
         self.network = DynamicNetwork(n)
         self.nodes: Dict[int, NodeAlgorithm] = {v: factory(v, n) for v in range(n)}
-        self.engine = RoundEngine(
+        self.engine = create_engine(
+            engine_mode,
             self.network,
             self.nodes,
             BandwidthPolicy(factor=bandwidth_factor, strict=strict_bandwidth),

@@ -12,8 +12,9 @@ The public surface is:
 * :class:`DynamicNetwork`, :class:`RoundChanges`, :class:`EdgeInsert`,
   :class:`EdgeDelete` -- the ground-truth dynamic graph and its change events.
 * :class:`NodeAlgorithm` -- the per-node algorithm interface.
-* :class:`RoundEngine` / :class:`ShardedRoundEngine` -- serial and
-  process-parallel round execution.
+* :class:`RoundEngine` / :class:`SparseRoundEngine` /
+  :class:`ShardedRoundEngine` -- dense, activity-proportional and
+  process-parallel round execution (see also :class:`QuiescenceProtocol`).
 * :class:`SimulationRunner` / :class:`SimulationResult` -- end-to-end
   orchestration of an adversary against an algorithm.
 * :class:`BandwidthPolicy`, :class:`MetricsCollector` -- bandwidth and
@@ -37,9 +38,15 @@ from .messages import (
 )
 from .metrics import MetricsCollector, RoundRecord
 from .network import DynamicNetwork, NodeIndication, TopologyError
-from .node import AlgorithmFactory, NodeAlgorithm
+from .node import AlgorithmFactory, NodeAlgorithm, QuiescenceProtocol
 from .parallel import ShardedRoundEngine, shard_nodes
-from .rounds import MessageTargetError, RoundEngine
+from .rounds import (
+    ENGINE_MODES,
+    MessageTargetError,
+    RoundEngine,
+    SparseRoundEngine,
+    create_engine,
+)
 from .runner import RoundValidator, SimulationResult, SimulationRunner, drive_engine
 from .trace import TopologyTrace, TraceRecordingAdversary, TraceReplayAdversary
 
@@ -51,8 +58,10 @@ __all__ = [
     "BandwidthPolicy",
     "BandwidthViolation",
     "canonical_edge",
+    "create_engine",
     "drive_engine",
     "DynamicNetwork",
+    "ENGINE_MODES",
     "Edge",
     "EdgeDelete",
     "EdgeDeleteHopMessage",
@@ -67,6 +76,7 @@ __all__ = [
     "NodeIndication",
     "PathInsertMessage",
     "PatternMark",
+    "QuiescenceProtocol",
     "RoundChanges",
     "RoundEngine",
     "RoundRecord",
@@ -75,6 +85,7 @@ __all__ = [
     "shard_nodes",
     "SimulationResult",
     "SimulationRunner",
+    "SparseRoundEngine",
     "SnapshotChunkMessage",
     "TopologyError",
     "TopologyTrace",

@@ -11,7 +11,7 @@ a per-round log that benchmarks and EXPERIMENTS.md draw their tables from.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Set
 
 __all__ = ["RoundRecord", "MetricsCollector"]
 
@@ -47,6 +47,9 @@ class MetricsCollector:
     _inconsistent_rounds: int = 0
     _total_envelopes: int = 0
     _total_bits: int = 0
+    # The live inconsistent set, maintained by delta so engines that only
+    # visit active nodes never have to re-scan the full node set.
+    _current_inconsistent: Set[int] = field(default_factory=set)
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -60,6 +63,7 @@ class MetricsCollector:
         bits_sent: int,
     ) -> RoundRecord:
         """Record the outcome of one round and return its summary record."""
+        self._current_inconsistent = set(inconsistent_nodes)
         record = RoundRecord(
             round_index=round_index,
             num_changes=num_changes,
@@ -78,6 +82,50 @@ class MetricsCollector:
                 self.per_node_inconsistent_rounds.get(node, 0) + 1
             )
         return record
+
+    def record_round_delta(
+        self,
+        round_index: int,
+        num_changes: int,
+        became_inconsistent: Iterable[int],
+        became_consistent: Iterable[int],
+        num_envelopes: int,
+        bits_sent: int,
+    ) -> RoundRecord:
+        """Record one round given only the *change* in the inconsistent set.
+
+        The collector maintains the live inconsistent set itself, so an
+        activity-proportional engine can report just the nodes whose
+        consistency flipped this round instead of re-scanning all ``n`` nodes.
+        Produces exactly the same :class:`RoundRecord` and per-node accounting
+        as :meth:`record_round` with the full list.
+        """
+        current = self._current_inconsistent
+        current.difference_update(became_consistent)
+        current.update(became_inconsistent)
+        record = RoundRecord(
+            round_index=round_index,
+            num_changes=num_changes,
+            num_inconsistent_nodes=len(current),
+            num_envelopes=num_envelopes,
+            bits_sent=bits_sent,
+        )
+        self.rounds.append(record)
+        self._total_changes += num_changes
+        self._total_envelopes += num_envelopes
+        self._total_bits += bits_sent
+        if current:
+            self._inconsistent_rounds += 1
+        for node in current:
+            self.per_node_inconsistent_rounds[node] = (
+                self.per_node_inconsistent_rounds.get(node, 0) + 1
+            )
+        return record
+
+    @property
+    def current_inconsistent_nodes(self) -> Set[int]:
+        """The inconsistent set at the end of the last recorded round (a copy)."""
+        return set(self._current_inconsistent)
 
     # ------------------------------------------------------------------ #
     # The paper's complexity measures

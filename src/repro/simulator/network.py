@@ -15,7 +15,7 @@ sake of analysis".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Mapping, Set
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set
 
 from .events import Edge, EdgeDelete, EdgeInsert, RoundChanges, TopologyEvent, canonical_edge
 
@@ -84,6 +84,12 @@ class DynamicNetwork:
         self._insertion_time: Dict[Edge, int] = {}
         self._deletion_time: Dict[Edge, int] = {}
         self._total_changes = 0
+        # Cached frozen snapshots, invalidated by apply_changes.  The round
+        # engines and the adversary view read these every round, so rebuilding
+        # a fresh frozenset per call would make every round O(n + m) even when
+        # nothing changed.
+        self._edges_snapshot: Optional[FrozenSet[Edge]] = None
+        self._neighbor_snapshots: Dict[int, FrozenSet[int]] = {}
 
     # ------------------------------------------------------------------ #
     # Read access
@@ -95,8 +101,10 @@ class DynamicNetwork:
 
     @property
     def edges(self) -> FrozenSet[Edge]:
-        """The current edge set (a frozen snapshot)."""
-        return frozenset(self._edges)
+        """The current edge set (a frozen snapshot, cached between changes)."""
+        if self._edges_snapshot is None:
+            self._edges_snapshot = frozenset(self._edges)
+        return self._edges_snapshot
 
     @property
     def num_edges(self) -> int:
@@ -112,9 +120,13 @@ class DynamicNetwork:
         return canonical_edge(u, v) in self._edges
 
     def neighbors(self, v: int) -> FrozenSet[int]:
-        """The current neighbors of ``v``."""
-        self._check_node(v)
-        return frozenset(self._adj[v])
+        """The current neighbors of ``v`` (a frozen snapshot, cached between changes)."""
+        snapshot = self._neighbor_snapshots.get(v)
+        if snapshot is None:
+            self._check_node(v)
+            snapshot = frozenset(self._adj[v])
+            self._neighbor_snapshots[v] = snapshot
+        return snapshot
 
     def degree(self, v: int) -> int:
         self._check_node(v)
@@ -173,8 +185,12 @@ class DynamicNetwork:
 
         inserted_by_node: Dict[int, list[int]] = {}
         deleted_by_node: Dict[int, list[int]] = {}
+        if len(changes) > 0:
+            self._edges_snapshot = None
         for ev in changes:
             a, b = ev.edge
+            self._neighbor_snapshots.pop(a, None)
+            self._neighbor_snapshots.pop(b, None)
             if ev.is_insert:
                 self._edges.add(ev.edge)
                 self._adj[a].add(b)

@@ -19,16 +19,52 @@ paper:
 
 Implementations live in :mod:`repro.core`; the simulator only relies on this
 interface.
+
+Quiescence
+----------
+The model is highly dynamic but *locally sparse*: in a typical round only a
+handful of nodes are touched by changes or messages.  The sparse round engine
+(:class:`~repro.simulator.rounds.SparseRoundEngine`) exploits this by skipping
+the per-round hooks of nodes that declare themselves **quiescent** through the
+:class:`QuiescenceProtocol` extension.  Declaring quiescence is a contract:
+while :meth:`NodeAlgorithm.is_quiescent` returns ``True``, running the hooks
+with no input must be a no-op, i.e.
+
+* ``on_topology_change(r, (), ())`` leaves the local state unchanged,
+* ``compose_messages(r)`` returns no non-silent envelope,
+* ``on_messages(r, {})`` leaves the local state unchanged, and
+* ``is_consistent()`` keeps returning the same value,
+
+so skipping the node is observationally identical to running it.  The default
+implementation returns ``False`` (the node is always active), which preserves
+the dense semantics for algorithms that have not been ported.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Dict, Mapping, Sequence
+from typing import Any, Callable, Dict, Mapping, Protocol, Sequence, runtime_checkable
 
 from .messages import Envelope
 
-__all__ = ["NodeAlgorithm", "AlgorithmFactory"]
+__all__ = ["NodeAlgorithm", "AlgorithmFactory", "QuiescenceProtocol"]
+
+
+@runtime_checkable
+class QuiescenceProtocol(Protocol):
+    """The activity self-report consumed by the sparse round engine.
+
+    An object satisfying this protocol can tell the engine that, absent new
+    topology indications or incoming messages, running its round hooks would
+    be a no-op (see the module docstring for the exact contract).  Every
+    :class:`NodeAlgorithm` satisfies it structurally via the conservative
+    default; algorithms override :meth:`is_quiescent` to unlock
+    activity-proportional scheduling.
+    """
+
+    def is_quiescent(self) -> bool:
+        """Whether skipping this node's hooks is currently a no-op."""
+        ...
 
 
 class NodeAlgorithm(ABC):
@@ -99,6 +135,19 @@ class NodeAlgorithm(ABC):
         :mod:`repro.core.queries`.  Implementations must not access any other
         node or the network.
         """
+
+    # ------------------------------------------------------------------ #
+    # Quiescence (see QuiescenceProtocol)
+    # ------------------------------------------------------------------ #
+    def is_quiescent(self) -> bool:
+        """Whether skipping this node's hooks is currently a no-op.
+
+        The conservative default keeps unported algorithms on the dense
+        schedule: a node that never declares quiescence is visited every
+        round, exactly as :class:`~repro.simulator.rounds.RoundEngine` would.
+        Overrides must honour the contract in the module docstring.
+        """
+        return False
 
     # ------------------------------------------------------------------ #
     # Optional introspection

@@ -12,7 +12,11 @@ batch per superstep).
 The sharded engine is a drop-in behavioural mirror of
 :class:`repro.simulator.rounds.RoundEngine`: given the same adversary schedule
 it produces identical metrics, because all cross-node interaction still flows
-through the coordinator's ground-truth network and bandwidth policy.  It is
+through the coordinator's ground-truth network and bandwidth policy.  In its
+default ``"sparse"`` mode it additionally mirrors the active-set scheduling of
+:class:`~repro.simulator.rounds.SparseRoundEngine`: each worker only runs the
+hooks of its active nodes, and the coordinator skips fully-quiescent shards
+altogether (no pipe round-trip at all while a shard has nothing to do).  It is
 *not* always faster -- for small ``n`` the pickling overhead dominates -- but
 it lets the simulator scale past a single core for wide fan-out workloads, and
 benchmark E12 measures exactly that trade-off.
@@ -30,7 +34,7 @@ from .messages import Envelope
 from .metrics import MetricsCollector, RoundRecord
 from .network import DynamicNetwork, NodeIndication
 from .node import AlgorithmFactory
-from .rounds import MessageTargetError
+from .rounds import ENGINE_MODES, MessageTargetError
 
 __all__ = ["ShardedRoundEngine", "shard_nodes"]
 
@@ -56,14 +60,29 @@ def _worker_loop(
     shard: Sequence[int],
     n: int,
     factory: AlgorithmFactory,
+    mode: str = "dense",
 ) -> None:
     """Entry point of a shard worker process.
 
     The worker owns the node-algorithm instances of its shard and executes the
     per-node phases on command.  Commands arrive as ``(op, payload)`` tuples on
     the pipe; results are sent back the same way.
+
+    In ``"sparse"`` mode the worker mirrors the active-set bookkeeping of
+    :class:`~repro.simulator.rounds.SparseRoundEngine` for its own shard: it
+    runs the hooks only over nodes that received an indication, hold an inbox,
+    sent last round, or self-report dirty state, and its ``update`` reply
+    carries only the consistency verdicts of the nodes it touched plus a
+    ``needs_react`` flag the coordinator uses to skip the whole shard while it
+    is fully quiescent.
     """
     nodes = {v: factory(v, n) for v in shard}
+    # Sparse-mode activity bookkeeping (unused in dense mode).
+    dirty = {v for v, algo in nodes.items() if not algo.is_quiescent()}
+    sent_last: set = set()
+    react_active: List[int] = []
+    react_round = -1
+    empty_inbox: Dict[int, Envelope] = {}
     while True:
         op, payload = conn.recv()
         if op == "stop":
@@ -73,20 +92,44 @@ def _worker_loop(
         if op == "react":
             round_index, indications = payload
             outgoing: Dict[int, Dict[int, Envelope]] = {}
-            for v, algo in nodes.items():
+            if mode == "sparse":
+                react_active = sorted(set(indications) | dirty | sent_last)
+                react_round = round_index
+            else:
+                react_active = list(nodes)
+            sent_now: set = set()
+            for v in react_active:
                 inserted, deleted = indications.get(v, ((), ()))
-                algo.on_topology_change(round_index, inserted, deleted)
-            for v, algo in nodes.items():
-                out = algo.compose_messages(round_index)
+                nodes[v].on_topology_change(round_index, inserted, deleted)
+            for v in react_active:
+                out = nodes[v].compose_messages(round_index)
                 if out:
                     outgoing[v] = out
+                    if any(not envelope.is_silent for envelope in out.values()):
+                        sent_now.add(v)
+            sent_last = sent_now
             conn.send(("ok", outgoing))
         elif op == "update":
             round_index, inboxes = payload
-            for v, algo in nodes.items():
-                algo.on_messages(round_index, inboxes.get(v, {}))
-            consistency = {v: algo.is_consistent() for v, algo in nodes.items()}
-            conn.send(("ok", consistency))
+            if mode == "sparse":
+                # A skipped react leaves no active set for this round; only
+                # freshly delivered inboxes can wake nodes then.
+                base = react_active if react_round == round_index else []
+                touched = sorted(set(base) | set(inboxes))
+            else:
+                touched = list(nodes)
+            for v in touched:
+                nodes[v].on_messages(round_index, inboxes.get(v, empty_inbox))
+            consistency = {v: nodes[v].is_consistent() for v in touched}
+            if mode == "sparse":
+                for v in touched:
+                    if nodes[v].is_quiescent():
+                        dirty.discard(v)
+                    else:
+                        dirty.add(v)
+                conn.send(("ok", (consistency, bool(dirty or sent_last))))
+            else:
+                conn.send(("ok", consistency))
         elif op == "query":
             node_id, query = payload
             conn.send(("ok", nodes[node_id].query(query)))
@@ -109,6 +152,10 @@ class ShardedRoundEngine:
         metrics: metrics collector (kept in the coordinator).
         start_method: multiprocessing start method; ``fork`` keeps closures
             usable as factories and is the default on Linux.
+        mode: ``"sparse"`` (default) lets each worker run only its active
+            nodes and lets the coordinator skip fully-quiescent shards
+            entirely; ``"dense"`` visits every node every round.  Both modes
+            produce identical metrics and state.
     """
 
     def __init__(
@@ -120,10 +167,14 @@ class ShardedRoundEngine:
         bandwidth: Optional[BandwidthPolicy] = None,
         metrics: Optional[MetricsCollector] = None,
         start_method: str = "fork",
+        mode: str = "sparse",
     ) -> None:
+        if mode not in ENGINE_MODES:
+            raise ValueError(f"mode must be one of {ENGINE_MODES}, got {mode!r}")
         self.network = DynamicNetwork(n)
         self.bandwidth = bandwidth if bandwidth is not None else BandwidthPolicy()
         self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.mode = mode
         workers = num_workers if num_workers is not None else max(1, (os.cpu_count() or 2) - 1)
         self._shards = shard_nodes(n, workers)
         self._node_to_shard: Dict[int, int] = {}
@@ -137,7 +188,7 @@ class ShardedRoundEngine:
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(
                 target=_worker_loop,
-                args=(child_conn, shard, n, algorithm_factory),
+                args=(child_conn, shard, n, algorithm_factory, mode),
                 daemon=True,
             )
             proc.start()
@@ -145,6 +196,11 @@ class ShardedRoundEngine:
             self._conns.append(parent_conn)
             self._procs.append(proc)
         self._last_inconsistent: List[int] = []
+        # Sparse-mode coordinator state: which shards still need a react op
+        # (workers report quiescence through their update replies) and the
+        # live inconsistent set maintained by delta.
+        self._needs_react: List[bool] = [True] * len(self._shards)
+        self._inconsistent: set = set()
         self._closed = False
 
     # ------------------------------------------------------------------ #
@@ -156,18 +212,28 @@ class ShardedRoundEngine:
             raise RuntimeError("engine already shut down")
         round_index = self.network.round_index + 1
         n = self.network.n
+        sparse = self.mode == "sparse"
         indications = self.network.apply_changes(round_index, changes)
 
-        # React & send, per shard.
+        # React & send, per shard.  In sparse mode a shard participates only
+        # if its worker reported pending activity last round or one of its
+        # nodes is touched by this round's changes.
         per_shard_indications: List[Dict[int, Tuple[tuple, tuple]]] = [
             {} for _ in self._shards
         ]
         for v, ind in indications.items():
             per_shard_indications[self._node_to_shard[v]][v] = (ind.inserted, ind.deleted)
-        for conn, shard_ind in zip(self._conns, per_shard_indications):
-            conn.send(("react", (round_index, shard_ind)))
+        reacting = [
+            not sparse or self._needs_react[idx] or bool(per_shard_indications[idx])
+            for idx in range(len(self._shards))
+        ]
+        for idx, (conn, shard_ind) in enumerate(zip(self._conns, per_shard_indications)):
+            if reacting[idx]:
+                conn.send(("react", (round_index, shard_ind)))
         outgoing_all: Dict[int, Dict[int, Envelope]] = {}
-        for conn in self._conns:
+        for idx, conn in enumerate(self._conns):
+            if not reacting[idx]:
+                continue
             status, outgoing = conn.recv()
             if status != "ok":  # pragma: no cover - defensive
                 raise RuntimeError(outgoing)
@@ -191,24 +257,47 @@ class ShardedRoundEngine:
                     bits_sent += size
                     inboxes.setdefault(target, {})[sender] = envelope
 
-        # Receive & update, per shard.
+        # Receive & update, per shard.  A shard that reacted must also update
+        # (to drain its activity bookkeeping); one that only received messages
+        # is woken by its inboxes.
         per_shard_inboxes: List[Dict[int, Dict[int, Envelope]]] = [{} for _ in self._shards]
         for v, inbox in inboxes.items():
             per_shard_inboxes[self._node_to_shard[v]][v] = inbox
-        for conn, shard_in in zip(self._conns, per_shard_inboxes):
-            conn.send(("update", (round_index, shard_in)))
-        inconsistent: List[int] = []
-        for conn in self._conns:
-            status, consistency = conn.recv()
+        updating = [
+            reacting[idx] or bool(per_shard_inboxes[idx])
+            for idx in range(len(self._shards))
+        ]
+        for idx, (conn, shard_in) in enumerate(zip(self._conns, per_shard_inboxes)):
+            if updating[idx]:
+                conn.send(("update", (round_index, shard_in)))
+        became_inconsistent: List[int] = []
+        became_consistent: List[int] = []
+        for idx, conn in enumerate(self._conns):
+            if not updating[idx]:
+                continue
+            status, reply = conn.recv()
             if status != "ok":  # pragma: no cover - defensive
-                raise RuntimeError(consistency)
-            inconsistent.extend(v for v, ok in consistency.items() if not ok)
+                raise RuntimeError(reply)
+            if sparse:
+                consistency, needs_react = reply
+                self._needs_react[idx] = needs_react
+            else:
+                consistency = reply
+            for v, ok in consistency.items():
+                if ok:
+                    if v in self._inconsistent:
+                        self._inconsistent.discard(v)
+                        became_consistent.append(v)
+                elif v not in self._inconsistent:
+                    self._inconsistent.add(v)
+                    became_inconsistent.append(v)
 
-        self._last_inconsistent = sorted(inconsistent)
-        return self.metrics.record_round(
+        self._last_inconsistent = sorted(self._inconsistent)
+        return self.metrics.record_round_delta(
             round_index=round_index,
             num_changes=len(changes),
-            inconsistent_nodes=self._last_inconsistent,
+            became_inconsistent=became_inconsistent,
+            became_consistent=became_consistent,
             num_envelopes=num_envelopes,
             bits_sent=bits_sent,
         )

@@ -18,11 +18,25 @@ One round of the highly dynamic model proceeds in four stages:
 The engine is deterministic: given the same adversary schedule and algorithm,
 every run produces identical state, which the test-suite and the trace
 record/replay facility rely on.
+
+Two schedulers implement the model:
+
+* :class:`RoundEngine` -- the *dense* reference scheduler: every node's hooks
+  run every round.
+* :class:`SparseRoundEngine` -- the *activity-proportional* scheduler: it
+  tracks the set of nodes that could possibly act this round (received an
+  indication, have a non-empty inbox, sent a message last round, or declare
+  themselves non-quiescent through the
+  :class:`~repro.simulator.node.QuiescenceProtocol`) and runs the hooks only
+  over that set.  For algorithms honouring the quiescence contract the two
+  engines produce bit-identical :class:`~repro.simulator.metrics.RoundRecord`
+  streams and final node state; nodes that never declare quiescence are simply
+  always active, so unported algorithms keep their dense semantics.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Set
 
 from .bandwidth import BandwidthPolicy
 from .events import RoundChanges
@@ -31,7 +45,14 @@ from .metrics import MetricsCollector, RoundRecord
 from .network import DynamicNetwork, NodeIndication
 from .node import NodeAlgorithm
 
-__all__ = ["RoundEngine", "MessageTargetError"]
+__all__ = ["RoundEngine", "SparseRoundEngine", "MessageTargetError", "ENGINE_MODES", "create_engine"]
+
+#: The selectable scheduler implementations, keyed by CLI / spec name.
+ENGINE_MODES = ("dense", "sparse")
+
+#: Shared empty inbox handed to nodes that received nothing this round, so
+#: quiet nodes do not cost one dict allocation each per round.
+_EMPTY_INBOX: Mapping[int, Envelope] = {}
 
 
 class MessageTargetError(RuntimeError):
@@ -83,8 +104,9 @@ class RoundEngine:
         # Stage 1: topology changes and local indications.
         indications = self.network.apply_changes(round_index, changes)
 
-        # Stage 2: react & send.
-        inboxes: Dict[int, Dict[int, Envelope]] = {v: {} for v in self.network.nodes}
+        # Stage 2: react & send.  Inboxes are created lazily: only nodes that
+        # actually receive something get a dict of their own.
+        inboxes: Dict[int, Dict[int, Envelope]] = {}
         num_envelopes = 0
         bits_sent = 0
         for v, algo in self.nodes.items():
@@ -104,11 +126,11 @@ class RoundEngine:
                 if not envelope.is_silent:
                     num_envelopes += 1
                     bits_sent += size
-                    inboxes[target][v] = envelope
+                    inboxes.setdefault(target, {})[v] = envelope
 
         # Stage 3: receive & update.
         for v, algo in self.nodes.items():
-            algo.on_messages(round_index, inboxes[v])
+            algo.on_messages(round_index, inboxes.get(v, _EMPTY_INBOX))
 
         # Stage 4: query window -- record consistency.
         inconsistent = [v for v, algo in self.nodes.items() if not algo.is_consistent()]
@@ -158,3 +180,140 @@ class RoundEngine:
             self.execute_quiet_round()
             executed += 1
         return executed
+
+
+class SparseRoundEngine(RoundEngine):
+    """A round engine that only touches nodes with something to do.
+
+    Per round the engine visits the **active set**: nodes that received a
+    topology indication, nodes holding a non-empty inbox, nodes that sent a
+    message in the previous round, and nodes whose algorithm reports
+    ``is_quiescent() == False`` (dirty local state, e.g. a non-empty update
+    queue or a pending consistency flip).  Everybody else is skipped entirely
+    -- no callbacks, no inbox allocation, no consistency re-query; their
+    cached consistency verdict is carried forward, which is sound because the
+    quiescence contract guarantees the skipped hooks would have been no-ops.
+
+    With every registered algorithm ported to the
+    :class:`~repro.simulator.node.QuiescenceProtocol`, wall-clock per round is
+    proportional to actual activity instead of ``n``, while the produced
+    :class:`~repro.simulator.metrics.RoundRecord` stream, traces, bandwidth
+    accounting and final node state stay bit-identical to
+    :class:`RoundEngine`.
+    """
+
+    def __init__(
+        self,
+        network: DynamicNetwork,
+        nodes: Mapping[int, NodeAlgorithm],
+        bandwidth: Optional[BandwidthPolicy] = None,
+        metrics: Optional[MetricsCollector] = None,
+    ) -> None:
+        super().__init__(network, nodes, bandwidth, metrics)
+        # Nodes whose algorithm self-reports dirty state.  Unported algorithms
+        # (default is_quiescent() == False) live here permanently, which
+        # degrades gracefully to the dense schedule for them.
+        self._dirty: Set[int] = {
+            v for v, algo in self.nodes.items() if not algo.is_quiescent()
+        }
+        # Nodes that emitted at least one non-silent envelope last round.
+        self._sent_last_round: Set[int] = set()
+        # Live inconsistent set, updated by delta as verdicts flip.
+        self._inconsistent: Set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # Round execution
+    # ------------------------------------------------------------------ #
+    def execute_round(self, changes: RoundChanges) -> RoundRecord:
+        """Run one round over the active set only; mirrors the dense engine."""
+        round_index = self.network.round_index + 1
+        n = self.network.n
+        nodes = self.nodes
+
+        # Stage 1: topology changes and local indications.
+        indications = self.network.apply_changes(round_index, changes)
+
+        # The nodes that may react or send this round.  Sorted iteration keeps
+        # the relative order of the dense engine's 0..n-1 sweep, so any
+        # order-sensitive failure (e.g. which bandwidth violation raises
+        # first) is reproduced exactly.
+        active = sorted(set(indications) | self._dirty | self._sent_last_round)
+
+        # Stage 2: react & send, active nodes only.
+        inboxes: Dict[int, Dict[int, Envelope]] = {}
+        num_envelopes = 0
+        bits_sent = 0
+        sent_now: Set[int] = set()
+        for v in active:
+            ind = indications.get(v, NodeIndication.empty())
+            nodes[v].on_topology_change(round_index, ind.inserted, ind.deleted)
+
+        for v in active:
+            outgoing = nodes[v].compose_messages(round_index)
+            for target, envelope in outgoing.items():
+                if target == v:
+                    raise MessageTargetError(f"node {v} attempted to message itself")
+                if not self.network.has_edge(v, target):
+                    raise MessageTargetError(
+                        f"round {round_index}: node {v} addressed non-neighbor {target}"
+                    )
+                size = self.bandwidth.charge(round_index, v, target, envelope, n)
+                if not envelope.is_silent:
+                    num_envelopes += 1
+                    bits_sent += size
+                    inboxes.setdefault(target, {})[v] = envelope
+                    sent_now.add(v)
+
+        # Stage 3: receive & update.  Message recipients join the active set
+        # (a quiescent node can be woken only by an indication, handled above,
+        # or by an incoming envelope, handled here).
+        touched = sorted(set(active) | set(inboxes))
+        for v in touched:
+            nodes[v].on_messages(round_index, inboxes.get(v, _EMPTY_INBOX))
+
+        # Stage 4: query window.  Only touched nodes can have flipped their
+        # verdict; everyone else's cached verdict stands.
+        became_inconsistent: List[int] = []
+        became_consistent: List[int] = []
+        inconsistent = self._inconsistent
+        dirty = self._dirty
+        for v in touched:
+            algo = nodes[v]
+            if algo.is_consistent():
+                if v in inconsistent:
+                    inconsistent.discard(v)
+                    became_consistent.append(v)
+            elif v not in inconsistent:
+                inconsistent.add(v)
+                became_inconsistent.append(v)
+            # Refresh the dirty set from the same sweep: a touched node stays
+            # scheduled until it declares quiescence.
+            if algo.is_quiescent():
+                dirty.discard(v)
+            else:
+                dirty.add(v)
+
+        self._sent_last_round = sent_now
+        self._last_inconsistent = sorted(inconsistent)
+        return self.metrics.record_round_delta(
+            round_index=round_index,
+            num_changes=len(changes),
+            became_inconsistent=became_inconsistent,
+            became_consistent=became_consistent,
+            num_envelopes=num_envelopes,
+            bits_sent=bits_sent,
+        )
+
+
+def create_engine(
+    mode: str,
+    network: DynamicNetwork,
+    nodes: Mapping[int, NodeAlgorithm],
+    bandwidth: Optional[BandwidthPolicy] = None,
+    metrics: Optional[MetricsCollector] = None,
+) -> RoundEngine:
+    """Build a round engine by mode name (``"dense"`` or ``"sparse"``)."""
+    if mode not in ENGINE_MODES:
+        raise ValueError(f"engine mode must be one of {ENGINE_MODES}, got {mode!r}")
+    cls = SparseRoundEngine if mode == "sparse" else RoundEngine
+    return cls(network, nodes, bandwidth, metrics)

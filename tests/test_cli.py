@@ -190,3 +190,21 @@ class TestCampaignSubcommand:
         code = main(["campaign", "--spec", str(path), "--out", str(tmp_path / "store")])
         assert code == 1
         assert "1 failed" in capsys.readouterr().out
+
+
+class TestEngineFlag:
+    def test_default_engine_is_sparse(self):
+        args = build_parser().parse_args([])
+        assert args.engine == "sparse"
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--engine", "turbo"])
+
+    def test_dense_and_sparse_print_identical_metrics(self, capsys):
+        argv = ["--algorithm", "triangle", "--adversary", "churn", "--nodes", "14", "--rounds", "40"]
+        assert main(argv + ["--engine", "dense"]) == 0
+        dense_out = capsys.readouterr().out
+        assert main(argv + ["--engine", "sparse"]) == 0
+        sparse_out = capsys.readouterr().out
+        assert dense_out == sparse_out

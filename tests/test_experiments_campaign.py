@@ -266,3 +266,23 @@ class TestTraceReplay:
         )
         metrics, _ = run_cell(replay)
         assert metrics["total_changes"] == float(trace.total_changes)
+
+
+class TestFlickerGhostCheck:
+    def test_default_geometry_verdicts(self):
+        spec = ExperimentSpec(
+            algorithm="naive", adversary="flicker", n=9, checks=("flicker_ghost",),
+            record_trace=False,
+        )
+        metrics, _ = run_cell(spec)
+        # The Section 1.3 strawman: consistent but believing the deleted edge.
+        assert metrics["node_v_consistent"] == 1.0
+        assert metrics["believes_deleted_edge"] == 1.0
+
+    def test_relocated_geometry_fails_loudly(self):
+        spec = ExperimentSpec(
+            algorithm="naive", adversary="flicker", n=16, checks=("flicker_ghost",),
+            adversary_params={"v": 9, "u": 10, "w": 11}, record_trace=False,
+        )
+        with pytest.raises(ValueError, match="default flicker geometry"):
+            run_cell(spec)

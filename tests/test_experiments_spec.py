@@ -201,3 +201,30 @@ class TestCampaignSpecSerialisation:
     def test_rejects_empty_seeds(self):
         with pytest.raises(ValueError, match="seeds"):
             CampaignSpec(name="x", seeds=[])
+
+
+class TestEngineMode:
+    def test_default_is_sparse(self):
+        assert ExperimentSpec().engine_mode == "sparse"
+
+    def test_bad_engine_mode(self):
+        with pytest.raises(ValueError, match="engine_mode"):
+            ExperimentSpec(engine_mode="turbo")
+
+    def test_engine_mode_round_trips(self):
+        spec = ExperimentSpec(engine_mode="dense")
+        assert ExperimentSpec.from_dict(spec.to_dict()).engine_mode == "dense"
+
+    def test_engine_mode_grid_axis(self):
+        campaign = CampaignSpec(
+            name="mode-sweep",
+            base={"algorithm": "triangle", "adversary": "churn", "rounds": 10},
+            grid={"n": [8, 16], "engine_mode": ["dense", "sparse"]},
+        )
+        cells = campaign.expand()
+        assert len(cells) == 4
+        assert sorted({c.engine_mode for c in cells}) == ["dense", "sparse"]
+        # Mode participates in the cell id, so dense/sparse results are
+        # stored as distinct cells.
+        ids = {c.cell_id for c in cells}
+        assert len(ids) == 4

@@ -69,3 +69,40 @@ class TestPerNodeAndTotals:
         assert summary["inconsistent_rounds"] == 1.0
         assert summary["amortized_round_complexity"] == 1.0
         assert "amortized_bits_per_change" in summary
+
+
+class TestIncrementalConsistencyAccounting:
+    def test_delta_recording_matches_full_lists(self):
+        full = MetricsCollector()
+        delta = MetricsCollector()
+        # Round 1: nodes 0 and 1 flip inconsistent.
+        full.record_round(1, 2, [0, 1], 4, 40)
+        delta.record_round_delta(1, 2, became_inconsistent=[0, 1], became_consistent=[], num_envelopes=4, bits_sent=40)
+        # Round 2: node 1 recovers, node 3 flips.
+        full.record_round(2, 0, [0, 3], 1, 8)
+        delta.record_round_delta(2, 0, became_inconsistent=[3], became_consistent=[1], num_envelopes=1, bits_sent=8)
+        # Round 3: everyone recovers.
+        full.record_round(3, 1, [], 0, 0)
+        delta.record_round_delta(3, 1, became_inconsistent=[], became_consistent=[0, 3], num_envelopes=0, bits_sent=0)
+
+        assert full.rounds == delta.rounds
+        assert full.summary() == delta.summary()
+        assert full.per_node_inconsistent_rounds == delta.per_node_inconsistent_rounds
+
+    def test_current_inconsistent_set_is_maintained(self):
+        m = MetricsCollector()
+        m.record_round_delta(1, 1, became_inconsistent=[2, 5], became_consistent=[], num_envelopes=0, bits_sent=0)
+        assert m.current_inconsistent_nodes == {2, 5}
+        m.record_round_delta(2, 0, became_inconsistent=[], became_consistent=[5], num_envelopes=0, bits_sent=0)
+        assert m.current_inconsistent_nodes == {2}
+        # record_round resets the live set from the full list.
+        m.record_round(3, 0, [7], 0, 0)
+        assert m.current_inconsistent_nodes == {7}
+
+    def test_empty_delta_round_counts_persisting_inconsistency(self):
+        m = MetricsCollector()
+        m.record_round_delta(1, 1, became_inconsistent=[4], became_consistent=[], num_envelopes=0, bits_sent=0)
+        # Node 4 stays inconsistent through a round with no flips at all.
+        m.record_round_delta(2, 0, became_inconsistent=[], became_consistent=[], num_envelopes=0, bits_sent=0)
+        assert m.inconsistent_rounds == 2
+        assert m.per_node_inconsistent_rounds == {4: 2}

@@ -110,3 +110,51 @@ class TestAccessors:
         assert not clone.has_edge(2, 3)
         assert clone.has_edge(0, 1)
         assert clone.total_changes == 1
+
+
+class TestSnapshotCaching:
+    def test_edges_snapshot_identity_across_calls(self):
+        net = DynamicNetwork(4)
+        net.apply_changes(1, RoundChanges.inserts([(0, 1), (1, 2)]))
+        first = net.edges
+        # No per-call copy: the exact same frozenset object is returned until
+        # the graph changes.
+        assert net.edges is first
+        assert net.snapshot() is first
+
+    def test_neighbors_snapshot_identity_across_calls(self):
+        net = DynamicNetwork(4)
+        net.apply_changes(1, RoundChanges.inserts([(0, 1), (1, 2)]))
+        first = net.neighbors(1)
+        assert net.neighbors(1) is first
+
+    def test_apply_changes_invalidates_snapshots(self):
+        net = DynamicNetwork(4)
+        net.apply_changes(1, RoundChanges.inserts([(0, 1)]))
+        edges_before = net.edges
+        neigh0_before = net.neighbors(0)
+        neigh3_before = net.neighbors(3)
+        net.apply_changes(2, RoundChanges.inserts([(0, 2)]))
+        assert net.edges is not edges_before
+        assert net.edges == frozenset({(0, 1), (0, 2)})
+        assert net.neighbors(0) is not neigh0_before
+        assert net.neighbors(0) == frozenset({1, 2})
+        # Untouched nodes keep their cached snapshot (delta invalidation).
+        assert net.neighbors(3) is neigh3_before
+
+    def test_empty_batch_keeps_snapshots(self):
+        net = DynamicNetwork(4)
+        net.apply_changes(1, RoundChanges.inserts([(0, 1)]))
+        edges_before = net.edges
+        net.apply_changes(2, RoundChanges.empty())
+        assert net.edges is edges_before
+
+    def test_copy_does_not_share_snapshots(self):
+        net = DynamicNetwork(4)
+        net.apply_changes(1, RoundChanges.inserts([(0, 1)]))
+        _ = net.edges, net.neighbors(0)
+        clone = net.copy()
+        clone.apply_changes(2, RoundChanges.inserts([(2, 3)]))
+        assert net.edges == frozenset({(0, 1)})
+        assert clone.edges == frozenset({(0, 1), (2, 3)})
+        assert clone.neighbors(0) == net.neighbors(0)
