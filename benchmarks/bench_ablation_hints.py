@@ -6,6 +6,12 @@ DESIGN.md calls out the mark-(b) hints as the piece that turns the robust
 triangle's three edges, it checks which of the three nodes end up knowing the
 triangle, with and without the hint mechanism, and aggregates the membership
 recall over a churn workload.
+
+The study is one campaign: a variant axis (full structure vs the registered
+``triangle_nohints`` ablation) crossed with seven workloads -- the six
+scripted insertion orders (inline traces) plus the churn workload -- with the
+``triangle_recall`` check producing the recall numerators/denominators.
+Metrics are byte-identical to the previous bespoke runner.
 """
 
 from __future__ import annotations
@@ -14,69 +20,115 @@ import itertools
 
 import pytest
 
-from repro.adversary import RandomChurnAdversary, ScriptedAdversary
-from repro.core import HintFreeTriangleNode, TriangleMembershipNode
-from repro.oracle import triangles_containing
+from repro.experiments import CampaignRunner, CampaignSpec, ExperimentSpec, ResultStore, run_cell
 
-from benchmarks.harness import emit_table, run_experiment
+from benchmarks.harness import RESULTS_DIR, emit_table
 
+TRIANGLE_EDGES = [(0, 1), (0, 2), (1, 2)]
 
-def _membership_recall_over_orders(factory):
-    """Fraction of (insertion order, member) pairs that know the triangle."""
-    hits = 0
-    total = 0
-    for order in itertools.permutations([(0, 1), (0, 2), (1, 2)]):
-        schedule = [([edge], []) for edge in order]
-        result = run_experiment(factory, ScriptedAdversary(schedule), 4)
-        for v in (0, 1, 2):
-            total += 1
-            if frozenset({0, 1, 2}) in result.nodes[v].known_triangles():
-                hits += 1
-    return hits / total
+ORDERS = list(itertools.permutations(TRIANGLE_EDGES))
 
 
-def _membership_recall_under_churn(factory, n=16, seed=3):
-    result = run_experiment(
-        factory,
-        RandomChurnAdversary(n, num_rounds=150, inserts_per_round=3, deletes_per_round=2, seed=seed),
-        n,
-    )
-    expected = 0
-    found = 0
-    for v, node in result.nodes.items():
-        truth = triangles_containing(result.network.edges, v)
-        expected += len(truth)
-        found += len(truth & node.known_triangles())
-    return (found / expected if expected else 1.0), result.amortized_round_complexity
+def _order_trace(order) -> dict:
+    """The insertion order as an inline scripted trace (one edge per round)."""
+    return {
+        "n": 4,
+        "rounds": [{"insert": [list(edge)], "delete": []} for edge in order],
+    }
 
 
-VARIANTS = [
-    ("full Theorem 1 structure (with hints)", TriangleMembershipNode),
-    ("ablation: hints disabled (Theorem 7 knowledge only)", HintFreeTriangleNode),
+ORDER_WORKLOADS = [
+    {"adversary": "scripted", "n": 4, "adversary_params": {"trace": _order_trace(order)}}
+    for order in ORDERS
 ]
 
+CHURN_WORKLOAD = {
+    "adversary": "churn",
+    "n": 16,
+    "seed": 3,
+    "rounds": 150,
+    "adversary_params": {"inserts_per_round": 3, "deletes_per_round": 2},
+}
 
-@pytest.mark.parametrize("label,factory", VARIANTS)
-def test_ablation(benchmark, label, factory):
-    recall = benchmark.pedantic(_membership_recall_over_orders, args=(factory,), rounds=1, iterations=1)
+VARIANTS = [
+    ("full Theorem 1 structure (with hints)", "triangle"),
+    ("ablation: hints disabled (Theorem 7 knowledge only)", "triangle_nohints"),
+]
+
+CAMPAIGN = CampaignSpec(
+    name="E13_ablation_hints",
+    base={"checks": ["triangle_recall"]},
+    grid={
+        "algorithm": [name for _, name in VARIANTS],
+        "workload": ORDER_WORKLOADS + [CHURN_WORKLOAD],
+    },
+)
+
+
+def _order_cell(algorithm: str, order) -> ExperimentSpec:
+    return ExperimentSpec.from_dict(
+        {
+            **CAMPAIGN.base,
+            "algorithm": algorithm,
+            "adversary": "scripted",
+            "n": 4,
+            "adversary_params": {"trace": _order_trace(order)},
+        }
+    )
+
+
+def _churn_cell(algorithm: str) -> ExperimentSpec:
+    return ExperimentSpec.from_dict(
+        {**CAMPAIGN.base, "algorithm": algorithm, **CHURN_WORKLOAD}
+    )
+
+
+def _recall_over_orders(by_id, algorithm: str) -> float:
+    """Fraction of (insertion order, member) pairs that know the triangle."""
+    found = 0
+    expected = 0
+    for order in ORDERS:
+        metrics = by_id[_order_cell(algorithm, order).cell_id]["metrics"]
+        found += int(metrics["triangle_recall_found"])
+        expected += int(metrics["triangle_recall_expected"])
+    return found / expected
+
+
+@pytest.mark.parametrize("label,algorithm", VARIANTS)
+def test_ablation(benchmark, label, algorithm):
+    def run_orders():
+        found = 0
+        expected = 0
+        for order in ORDERS:
+            metrics, _ = run_cell(_order_cell(algorithm, order))
+            found += int(metrics["triangle_recall_found"])
+            expected += int(metrics["triangle_recall_expected"])
+        return found / expected
+
+    recall = benchmark.pedantic(run_orders, rounds=1, iterations=1)
     benchmark.extra_info["membership_recall_over_orders"] = recall
-    if factory is TriangleMembershipNode:
+    if algorithm == "triangle":
         assert recall == 1.0
     else:
         assert recall < 1.0
 
 
 def _emit_table_impl():
+    store = ResultStore(RESULTS_DIR / "campaign_E13_ablation")
+    report = CampaignRunner(CAMPAIGN, store).run(resume=False)
+    assert not report.failed, report.failed
+    by_id = {record["cell_id"]: record for record in report.records}
+
     rows = []
-    for label, factory in VARIANTS:
-        order_recall = _membership_recall_over_orders(factory)
-        churn_recall, amortized = _membership_recall_under_churn(factory)
+    for label, algorithm in VARIANTS:
+        order_recall = _recall_over_orders(by_id, algorithm)
+        churn_metrics = by_id[_churn_cell(algorithm).cell_id]["metrics"]
         rows.append(
             [
                 label,
                 round(order_recall, 3),
-                round(churn_recall, 3),
-                round(amortized, 3),
+                round(churn_metrics["triangle_recall"], 3),
+                round(churn_metrics["amortized_round_complexity"], 3),
             ]
         )
     emit_table(

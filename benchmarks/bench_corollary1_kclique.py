@@ -4,52 +4,82 @@ Plants k-cliques amid noise and measures, per k: the amortized round
 complexity (claimed O(1) for every fixed k, with the same constant as the
 triangle structure since no extra communication is performed) and whether the
 planted cliques are correctly reported by every member at the end of the run.
+
+The sweep is one campaign (the ``planted_clique`` workload with a ``k`` axis)
+executed through the experiment-campaign subsystem; the oracle comparison is
+the ``clique_oracle`` check, which reads ``k`` from the cell's adversary
+params.  Metrics are byte-identical to the previous bespoke runner.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.core import CliqueMembershipNode
-from repro.oracle import cliques_containing
+from repro.experiments import CampaignRunner, CampaignSpec, ExperimentSpec, ResultStore, run_cell
 from repro.workloads import planted_clique_churn
 
-from benchmarks.harness import emit_table, run_experiment
+from benchmarks.harness import RESULTS_DIR, emit_table
 
 KS = [3, 4, 5]
 N = 24
 
+CAMPAIGN = CampaignSpec(
+    name="E3_corollary1_kclique",
+    base={
+        "algorithm": "clique",
+        "adversary": "planted_clique",
+        "n": N,
+        "adversary_params": {"num_plants": 3, "noise_edges_per_round": 1},
+        "checks": ["clique_oracle", "membership_oracle"],
+    },
+    grid={"adversary_params.k": KS},
+)
 
-def _run(k: int, seed: int = 0):
-    adversary, plants = planted_clique_churn(N, k, num_plants=3, noise_edges_per_round=1, seed=seed)
-    result = run_experiment(CliqueMembershipNode, adversary, N)
-    return result, plants
+
+def _cell(k: int, seed: int = 0) -> ExperimentSpec:
+    return ExperimentSpec.from_dict(
+        {
+            **CAMPAIGN.base,
+            "adversary_params": {**CAMPAIGN.base["adversary_params"], "k": k},
+            "seed": seed,
+        }
+    )
 
 
 @pytest.mark.parametrize("k", KS)
 def test_planted_cliques(benchmark, k):
-    result, _ = benchmark.pedantic(_run, args=(k,), rounds=1, iterations=1)
-    benchmark.extra_info["amortized_round_complexity"] = result.amortized_round_complexity
-    assert result.metrics.max_running_amortized_complexity() <= 3.0 + 1e-9
+    metrics, _ = benchmark.pedantic(run_cell, args=(_cell(k),), rounds=1, iterations=1)
+    benchmark.extra_info["amortized_round_complexity"] = metrics["amortized_round_complexity"]
+    assert metrics["max_running_amortized_complexity"] <= 3.0 + 1e-9
+    assert metrics["clique_matches_oracle"] == 1.0
+    assert metrics["membership_matches_oracle"] == 1.0
+    assert metrics["check_failures"] == 0.0
 
 
 def _emit_table_impl():
+    store = ResultStore(RESULTS_DIR / "campaign_E3_corollary1")
+    report = CampaignRunner(CAMPAIGN, store).run(resume=False)
+    assert not report.failed, report.failed
+    by_id = {record["cell_id"]: record for record in report.records}
+
     rows = []
-    for k in KS:
-        result, plants = _run(k)
-        network = result.network
-        correct = all(
-            result.nodes[v].known_cliques(k) == cliques_containing(network.edges, v, k)
-            for v in range(N)
+    for cell in CAMPAIGN.expand():
+        k = cell.adversary_params["k"]
+        # The plant list is a deterministic function of the workload
+        # parameters; regenerate it for the table's plant count.
+        _, plants = planted_clique_churn(
+            N, k, num_plants=3, noise_edges_per_round=1, seed=cell.seed
         )
+        metrics = by_id[cell.cell_id]["metrics"]
+        correct = metrics["clique_matches_oracle"] == 1.0
         rows.append(
             [
                 k,
                 N,
                 len(plants),
-                result.metrics.total_changes,
-                round(result.amortized_round_complexity, 4),
-                round(result.metrics.max_running_amortized_complexity(), 4),
+                int(metrics["total_changes"]),
+                round(metrics["amortized_round_complexity"], 4),
+                round(metrics["max_running_amortized_complexity"], 4),
                 correct,
             ]
         )

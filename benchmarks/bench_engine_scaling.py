@@ -238,6 +238,12 @@ def test_smoke_identity(benchmark, mode):
     metrics, latencies = benchmark.pedantic(timed_cell, args=(spec,), rounds=1, iterations=1)
     benchmark.extra_info["rounds_per_sec"] = metrics["rounds_executed"] / max(sum(latencies), 1e-9)
     assert metrics["rounds_executed"] > 0
+    # The actual identity gate: this mode's metrics must equal the dense
+    # reference run cell-for-cell (timings aside, which are not metrics).
+    reference, _ = timed_cell(
+        ExperimentSpec.from_dict({**_BASE, **_SMOKE_CONFIGS[0], "engine_mode": "dense"})
+    )
+    assert metrics == reference
 
 
 def _emit_table_impl():

@@ -5,53 +5,55 @@ two hubs creates one 3-path per shared leaf index (at least D/3 of them), so
 the same counting argument applies to a 4-vertex subgraph that is *not* a
 clique -- complementing Theorem 2's membership result and marking where
 "ultra-fast" listing stops.
+
+The construction runs as a campaign cell (the ``null`` workload algorithm
+realizes the schedule) and the structural sampling is the
+``threepath_visits`` check; metrics are byte-identical to the previous
+bespoke driver loop.
 """
 
 from __future__ import annotations
 
-from repro.adversary import ThreePathLowerBoundAdversary
-from repro.simulator import DynamicNetwork
-from repro.simulator.adversary import AdversaryView
+from repro.experiments import CampaignRunner, CampaignSpec, ExperimentSpec, ResultStore, run_cell
 
-from benchmarks.harness import emit_table
+from benchmarks.harness import RESULTS_DIR, emit_table
 
+N = 100
 
-def _run(n: int, num_components: int, seed: int = 0):
-    adversary = ThreePathLowerBoundAdversary(n, num_components=num_components, seed=seed)
-    network = DynamicNetwork(n)
-    sampled_paths_per_visit = []
-    while not adversary.is_done:
-        view = AdversaryView.from_network(network, network.round_index + 1, True)
-        changes = adversary.changes_for_round(view)
-        if changes is None:
-            break
-        network.apply_changes(network.round_index + 1, changes)
-        if changes.insertions and adversary.connection_events and len(sampled_paths_per_visit) < 6:
-            # A bridge (hub_l, hub_m) was just inserted: count the 3-paths
-            # v - hub_l - hub_m - v' it creates.
-            ell, m = adversary.connection_events[len(sampled_paths_per_visit)]
-            shared = adversary.shared_leaf_indices(ell, m)
-            sampled_paths_per_visit.append(len(shared))
-    return adversary, sampled_paths_per_visit
+CAMPAIGN = CampaignSpec(
+    name="E9_remark1_threepath",
+    base={
+        "algorithm": "null",
+        "adversary": "threepath",
+        "n": N,
+        "adversary_params": {"num_components": 4},
+        "checks": ["threepath_visits"],
+    },
+)
+
+CELL = ExperimentSpec.from_dict(CAMPAIGN.base)
 
 
 def test_construction_structure(benchmark):
-    adversary, per_visit = benchmark.pedantic(_run, args=(100, 4), rounds=1, iterations=1)
-    benchmark.extra_info["three_paths_per_visit"] = per_visit
-    assert per_visit
-    assert all(count >= adversary.D // 3 for count in per_visit)
+    metrics, _ = benchmark.pedantic(run_cell, args=(CELL,), rounds=1, iterations=1)
+    benchmark.extra_info["min_three_paths_per_visit"] = metrics["threepath_min_per_visit"]
+    assert metrics["threepath_visits_sampled"] > 0
+    assert metrics["threepath_min_per_visit"] >= metrics["threepath_required"]
 
 
 def _emit_table_impl():
-    adversary, per_visit = _run(100, 4)
+    store = ResultStore(RESULTS_DIR / "campaign_E9_remark1")
+    report = CampaignRunner(CAMPAIGN, store).run(resume=False)
+    assert not report.failed, report.failed
+    metrics = report.records[0]["metrics"]
     rows = [
         [
-            100,
-            adversary.t,
-            adversary.D,
-            adversary.attached_count,
-            min(per_visit),
-            adversary.D // 3,
+            N,
+            int(metrics["threepath_components"]),
+            int(metrics["threepath_D"]),
+            int(metrics["threepath_attached"]),
+            int(metrics["threepath_min_per_visit"]),
+            int(metrics["threepath_required"]),
         ]
     ]
     emit_table(
@@ -60,7 +62,7 @@ def _emit_table_impl():
         rows,
         claim="Remark 1: each hub visit creates >= D/3 three-paths, so 3-path listing also needs Omega(sqrt(n)/log n)",
     )
-    assert min(per_visit) >= adversary.D // 3
+    assert metrics["threepath_min_per_visit"] >= metrics["threepath_required"]
 
 
 def test_emit_table(benchmark, results_dir):

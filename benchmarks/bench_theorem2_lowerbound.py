@@ -6,57 +6,87 @@ queries) and, for contrast, against the Theorem 1 clique structure.  The bench
 reports the measured amortized complexity next to the information-theoretic
 bound recomputed from the proof, and asserts the expected shape: the baseline's
 cost grows with n while the clique structure's stays constant.
+
+The sweep is one campaign (pattern x size x algorithm) executed through the
+experiment-campaign subsystem; metrics are byte-identical to the previous
+bespoke runner.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.adversary import MembershipLowerBoundAdversary
 from repro.analysis import growth_exponent, theorem2_lower_bound
-from repro.core import TriangleMembershipNode, TwoHopListingNode
 from repro.core.membership import PATTERNS
+from repro.experiments import CampaignRunner, CampaignSpec, ExperimentSpec, ResultStore, run_cell
 
-from benchmarks.harness import emit_table, run_experiment
+from benchmarks.harness import RESULTS_DIR, emit_table
 
 SIZES = [16, 32, 64]
 PATTERN_NAMES = ["P3", "P4", "diamond"]
 ITERATIONS = 8
 
+CAMPAIGN = CampaignSpec(
+    name="E6_theorem2_membership",
+    base={
+        "adversary": "theorem2",
+        "adversary_params": {"num_iterations": ITERATIONS},
+    },
+    grid={
+        "adversary_params.pattern": PATTERN_NAMES,
+        "n": SIZES,
+        "algorithm": ["twohop", "triangle"],
+    },
+)
 
-def _run(factory, n: int, pattern_name: str):
-    adversary = MembershipLowerBoundAdversary(
-        n, PATTERNS[pattern_name], num_iterations=ITERATIONS
+
+def _cell(algorithm: str, n: int, pattern_name: str) -> ExperimentSpec:
+    return ExperimentSpec.from_dict(
+        {
+            **CAMPAIGN.base,
+            "algorithm": algorithm,
+            "n": n,
+            "adversary_params": {"num_iterations": ITERATIONS, "pattern": pattern_name},
+        }
     )
-    return run_experiment(factory, adversary, n)
 
 
 @pytest.mark.parametrize("n", SIZES)
 def test_lemma1_baseline_under_theorem2_adversary(benchmark, n):
-    result = benchmark.pedantic(_run, args=(TwoHopListingNode, n, "P3"), rounds=1, iterations=1)
-    benchmark.extra_info["amortized_round_complexity"] = result.amortized_round_complexity
+    metrics, _ = benchmark.pedantic(
+        run_cell, args=(_cell("twohop", n, "P3"),), rounds=1, iterations=1
+    )
+    benchmark.extra_info["amortized_round_complexity"] = metrics["amortized_round_complexity"]
 
 
 def _emit_table_impl():
+    store = ResultStore(RESULTS_DIR / "campaign_E6_theorem2")
+    report = CampaignRunner(CAMPAIGN, store).run(resume=False)
+    assert not report.failed, report.failed
+    by_id = {record["cell_id"]: record for record in report.records}
+
+    def metrics_for(algorithm: str, n: int, pattern_name: str):
+        return by_id[_cell(algorithm, n, pattern_name).cell_id]["metrics"]
+
     rows = []
     p3_costs = []
     for pattern_name in PATTERN_NAMES:
         for n in SIZES:
-            baseline = _run(TwoHopListingNode, n, pattern_name)
-            clique_struct = _run(TriangleMembershipNode, n, pattern_name)
+            baseline = metrics_for("twohop", n, pattern_name)
+            clique_struct = metrics_for("triangle", n, pattern_name)
             bound = theorem2_lower_bound(n, PATTERNS[pattern_name].k)
             rows.append(
                 [
                     pattern_name,
                     n,
-                    baseline.metrics.total_changes,
-                    round(baseline.amortized_round_complexity, 4),
-                    round(clique_struct.amortized_round_complexity, 4),
+                    int(baseline["total_changes"]),
+                    round(baseline["amortized_round_complexity"], 4),
+                    round(clique_struct["amortized_round_complexity"], 4),
                     round(bound.amortized_lower_bound, 4),
                 ]
             )
             if pattern_name == "P3":
-                p3_costs.append((n, baseline.amortized_round_complexity))
+                p3_costs.append((n, baseline["amortized_round_complexity"]))
     emit_table(
         "E6_theorem2_membership_lower_bound",
         [

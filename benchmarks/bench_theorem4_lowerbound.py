@@ -3,10 +3,12 @@
 The lower bound is information-theoretic (it holds for *every* algorithm), so
 this bench reproduces it in two parts:
 
-1. **Structural validation of the Figure 4 construction** -- running the
-   adversary and counting, for sampled component visits, the 6-cycles created
-   through shared leaves; the proof's pigeonhole argument needs at least D/3
-   of them, which is what forces the Omega(D) information transfer.
+1. **Structural validation of the Figure 4 construction** -- a campaign cell
+   realizes the adversary's schedule on the bare network (the ``null``
+   workload algorithm), and the ``theorem4_visits`` check re-derives, for
+   sampled component visits, the 6-cycles created through shared leaves; the
+   proof's pigeonhole argument needs at least D/3 of them, which is what
+   forces the Omega(D) information transfer.
 2. **The counting bound itself** -- evaluating the proof's arithmetic
    (binomial-entropy difference per visit, total bits, change count) across
    network sizes and checking that the resulting amortized lower bound grows
@@ -18,60 +20,51 @@ from __future__ import annotations
 
 import pytest
 
-from repro.adversary import CycleLowerBoundAdversary
 from repro.analysis import growth_exponent, theorem4_lower_bound
-from repro.oracle import cycles_of_length
-from repro.simulator import DynamicNetwork
-from repro.simulator.adversary import AdversaryView
+from repro.experiments import CampaignRunner, CampaignSpec, ExperimentSpec, ResultStore, run_cell
 
-from benchmarks.harness import emit_table
+from benchmarks.harness import RESULTS_DIR, emit_table
 
 BOUND_SIZES = [256, 1024, 4096, 16384]
 
+CONSTRUCTION_N = 81
 
-def _run_construction(n: int, num_components: int, seed: int = 0):
-    """Drive the Figure 4 adversary and sample the cycles each visit creates."""
-    adversary = CycleLowerBoundAdversary(n, k=6, num_components=num_components, seed=seed)
-    network = DynamicNetwork(n)
-    visit_cycle_counts = []
-    bridged = False
-    while not adversary.is_done:
-        view = AdversaryView.from_network(network, network.round_index + 1, True)
-        changes = adversary.changes_for_round(view)
-        if changes is None:
-            break
-        network.apply_changes(network.round_index + 1, changes)
-        if changes.insertions and adversary.connection_events and len(changes.insertions) <= 2:
-            bridged = True
-        elif bridged and changes.deletions:
-            bridged = False
-        if bridged and len(visit_cycle_counts) < 6:
-            visit_cycle_counts.append(len(cycles_of_length(network.edges, 6)))
-            bridged = False
-    return adversary, visit_cycle_counts
+CAMPAIGN = CampaignSpec(
+    name="E8_theorem4_construction",
+    base={
+        "algorithm": "null",
+        "adversary": "theorem4",
+        "n": CONSTRUCTION_N,
+        "adversary_params": {"k": 6, "num_components": 3},
+        "checks": ["theorem4_visits"],
+    },
+)
+
+CELL = ExperimentSpec.from_dict(CAMPAIGN.base)
 
 
 def test_construction_structure(benchmark):
-    adversary, visit_cycle_counts = benchmark.pedantic(
-        _run_construction, args=(81, 3), rounds=1, iterations=1
-    )
-    benchmark.extra_info["cycles_per_visit"] = visit_cycle_counts
+    metrics, _ = benchmark.pedantic(run_cell, args=(CELL,), rounds=1, iterations=1)
+    benchmark.extra_info["min_cycles_per_visit"] = metrics["theorem4_min_cycles_per_visit"]
     # Every sampled visit creates at least D/3 six-cycles (the pigeonhole step).
-    assert visit_cycle_counts
-    assert all(count >= adversary.D // 3 for count in visit_cycle_counts)
+    assert metrics["theorem4_visits_sampled"] > 0
+    assert metrics["theorem4_min_cycles_per_visit"] >= metrics["theorem4_required_cycles"]
 
 
 def _emit_table_impl():
     # Part 1: construction validation at a size that runs quickly.
-    adversary, visit_cycle_counts = _run_construction(81, 3)
+    store = ResultStore(RESULTS_DIR / "campaign_E8_theorem4")
+    report = CampaignRunner(CAMPAIGN, store).run(resume=False)
+    assert not report.failed, report.failed
+    metrics = report.records[0]["metrics"]
     construction_rows = [
         [
-            81,
-            adversary.t,
-            adversary.D,
-            adversary.attached_count,
-            min(visit_cycle_counts),
-            adversary.D // 3,
+            CONSTRUCTION_N,
+            int(metrics["theorem4_components"]),
+            int(metrics["theorem4_D"]),
+            int(metrics["theorem4_attached"]),
+            int(metrics["theorem4_min_cycles_per_visit"]),
+            int(metrics["theorem4_required_cycles"]),
         ]
     ]
     emit_table(
@@ -80,7 +73,7 @@ def _emit_table_impl():
         construction_rows,
         claim="Figure 4: every component visit creates >= D/3 six-cycles through shared leaves",
     )
-    assert min(visit_cycle_counts) >= adversary.D // 3
+    assert metrics["theorem4_min_cycles_per_visit"] >= metrics["theorem4_required_cycles"]
 
     # Part 2: the counting bound across sizes.
     rows = []

@@ -3,67 +3,75 @@
 Plants k-cycles (k = 4, 5) in random edge order amid churn and measures the
 amortized round complexity, plus the listing guarantee on the final graph: for
 every k-cycle, at least one member answers TRUE when all members are queried.
+
+The sweep is one campaign (the ``planted_cycle`` workload with a ``k`` axis)
+executed through the experiment-campaign subsystem; the listing guarantee is
+the ``cycle_cover`` check.  Metrics are byte-identical to the previous
+bespoke runner.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.core import CycleListingNode
-from repro.oracle import cycles_of_length
-from repro.workloads import planted_cycle_churn
+from repro.experiments import CampaignRunner, CampaignSpec, ExperimentSpec, ResultStore, run_cell
 
-from benchmarks.harness import emit_table, run_experiment
+from benchmarks.harness import RESULTS_DIR, emit_table
 
 N = 18
 KS = [4, 5]
 
+CAMPAIGN = CampaignSpec(
+    name="E5_theorem5_cycles",
+    base={
+        "algorithm": "cycles",
+        "adversary": "planted_cycle",
+        "n": N,
+        "seed": 1,
+        "adversary_params": {"num_plants": 4, "teardown": False},
+        "checks": ["cycle_cover"],
+    },
+    grid={"adversary_params.k": KS},
+    seeds=[1],
+)
 
-def _run(k: int, seed: int = 1):
-    adversary, plants = planted_cycle_churn(N, k, num_plants=4, seed=seed, teardown=False)
-    result = run_experiment(CycleListingNode, adversary, N)
-    return result, plants
 
-
-def _listing_coverage(result, k):
-    """Fraction of final-graph k-cycles listed by at least one member."""
-    network = result.network
-    cycles = cycles_of_length(network.edges, k)
-    if not cycles:
-        return 1.0, 0
-    listed = 0
-    for cycle in cycles:
-        if any(
-            result.nodes[v].is_consistent() and result.nodes[v].knows_cycle_set(cycle)
-            for v in cycle
-        ):
-            listed += 1
-    return listed / len(cycles), len(cycles)
+def _cell(k: int) -> ExperimentSpec:
+    return ExperimentSpec.from_dict(
+        {
+            **CAMPAIGN.base,
+            "adversary_params": {**CAMPAIGN.base["adversary_params"], "k": k},
+        }
+    )
 
 
 @pytest.mark.parametrize("k", KS)
 def test_cycle_listing(benchmark, k):
-    result, _ = benchmark.pedantic(_run, args=(k,), rounds=1, iterations=1)
-    benchmark.extra_info["amortized_round_complexity"] = result.amortized_round_complexity
-    coverage, _ = _listing_coverage(result, k)
-    assert coverage == 1.0
-    assert result.metrics.max_running_amortized_complexity() <= 4.0 + 1e-9
+    metrics, _ = benchmark.pedantic(run_cell, args=(_cell(k),), rounds=1, iterations=1)
+    benchmark.extra_info["amortized_round_complexity"] = metrics["amortized_round_complexity"]
+    assert metrics["cycle_cover"] == 1.0
+    assert metrics["max_running_amortized_complexity"] <= 4.0 + 1e-9
 
 
 def _emit_table_impl():
+    store = ResultStore(RESULTS_DIR / "campaign_E5_theorem5")
+    report = CampaignRunner(CAMPAIGN, store).run(resume=False)
+    assert not report.failed, report.failed
+    by_id = {record["cell_id"]: record for record in report.records}
+
     rows = []
-    for k in KS:
-        result, plants = _run(k)
-        coverage, num_cycles = _listing_coverage(result, k)
+    for cell in CAMPAIGN.expand():
+        metrics = by_id[cell.cell_id]["metrics"]
+        coverage = metrics["cycle_cover"]
         rows.append(
             [
-                k,
+                cell.adversary_params["k"],
                 N,
-                num_cycles,
+                int(metrics["cycles_in_final_graph"]),
                 round(coverage, 3),
-                result.metrics.total_changes,
-                round(result.amortized_round_complexity, 4),
-                round(result.metrics.max_running_amortized_complexity(), 4),
+                int(metrics["total_changes"]),
+                round(metrics["amortized_round_complexity"], 4),
+                round(metrics["max_running_amortized_complexity"], 4),
             ]
         )
         assert coverage == 1.0

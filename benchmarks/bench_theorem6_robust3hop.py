@@ -3,63 +3,72 @@
 Measures the amortized round complexity of the robust 3-hop structure under
 churn, across sizes, and verifies the Theorem 6 sandwich
 ``R^{v,3} ⊆ known ⊆ E^{v,3}`` on the drained final graph.
+
+The sweep is one campaign cell per network size, executed through the
+experiment-campaign subsystem; the sandwich comes from the
+``robust3hop_oracle`` check.  Metrics are byte-identical to the previous
+bespoke runner.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.adversary import RandomChurnAdversary
 from repro.analysis import growth_exponent
-from repro.core import RobustThreeHopNode
-from repro.oracle import khop_edges, robust_three_hop
+from repro.experiments import CampaignRunner, CampaignSpec, ExperimentSpec, ResultStore, run_cell
 
-from benchmarks.harness import emit_table, run_experiment
+from benchmarks.harness import RESULTS_DIR, emit_table
 
 SIZES = [12, 16, 24]
 
+CAMPAIGN = CampaignSpec(
+    name="E4_theorem6_robust3hop",
+    base={
+        "algorithm": "robust3hop",
+        "adversary": "churn",
+        "rounds": 80,
+        "adversary_params": {"inserts_per_round": 3, "deletes_per_round": 2},
+        "checks": ["robust3hop_oracle"],
+    },
+    grid={"n": SIZES},
+)
 
-def _run(n: int, seed: int = 0):
-    return run_experiment(
-        RobustThreeHopNode,
-        RandomChurnAdversary(
-            n, num_rounds=80, inserts_per_round=3, deletes_per_round=2, seed=seed
-        ),
-        n,
-    )
+
+def _cell(n: int, seed: int = 0) -> ExperimentSpec:
+    return ExperimentSpec.from_dict({**CAMPAIGN.base, "n": n, "seed": seed})
 
 
 @pytest.mark.parametrize("n", SIZES)
 def test_random_churn(benchmark, n):
-    result = benchmark.pedantic(_run, args=(n,), rounds=1, iterations=1)
-    benchmark.extra_info["amortized_round_complexity"] = result.amortized_round_complexity
-    assert result.metrics.max_running_amortized_complexity() <= 4.0 + 1e-9
+    metrics, _ = benchmark.pedantic(run_cell, args=(_cell(n),), rounds=1, iterations=1)
+    benchmark.extra_info["amortized_round_complexity"] = metrics["amortized_round_complexity"]
+    assert metrics["max_running_amortized_complexity"] <= 4.0 + 1e-9
+    assert metrics["robust3hop_sandwich"] == 1.0
 
 
 def _emit_table_impl():
+    store = ResultStore(RESULTS_DIR / "campaign_E4_theorem6")
+    report = CampaignRunner(CAMPAIGN, store).run(resume=False)
+    assert not report.failed, report.failed
+    by_id = {record["cell_id"]: record for record in report.records}
+
     rows = []
     measured = []
-    for n in SIZES:
-        result = _run(n)
-        network = result.network
-        times = network.insertion_times()
-        sandwich_ok = True
-        for v, node in result.nodes.items():
-            known = node.known_edges()
-            if not (robust_three_hop(network.edges, times, v) <= known <= khop_edges(network.edges, v, 3)):
-                sandwich_ok = False
+    for cell in CAMPAIGN.expand():
+        metrics = by_id[cell.cell_id]["metrics"]
+        sandwich_ok = metrics["robust3hop_sandwich"] == 1.0
         rows.append(
             [
-                n,
-                result.metrics.total_changes,
-                round(result.amortized_round_complexity, 4),
-                round(result.metrics.max_running_amortized_complexity(), 4),
-                result.bandwidth.max_observed_bits,
-                result.bandwidth.budget_bits(n),
+                cell.n,
+                int(metrics["total_changes"]),
+                round(metrics["amortized_round_complexity"], 4),
+                round(metrics["max_running_amortized_complexity"], 4),
+                int(metrics["bandwidth_max_observed_bits"]),
+                int(metrics["bandwidth_budget_bits"]),
                 sandwich_ok,
             ]
         )
-        measured.append((n, result.amortized_round_complexity))
+        measured.append((cell.n, metrics["amortized_round_complexity"]))
         assert sandwich_ok
     emit_table(
         "E4_theorem6_robust3hop",

@@ -15,19 +15,29 @@ from .information import (
     theorem2_lower_bound,
     theorem4_lower_bound,
 )
-from .tables import format_float, format_table, write_csv
+from .tables import (
+    campaign_table,
+    format_float,
+    format_table,
+    latest_ok_records,
+    load_results_jsonl,
+    write_csv,
+)
 
 __all__ = [
     "MODELS",
     "FitResult",
     "Theorem2Bound",
     "Theorem4Bound",
+    "campaign_table",
     "compare_models",
     "fit_scaled_model",
     "format_float",
     "format_table",
     "growth_exponent",
     "is_bounded_by_constant",
+    "latest_ok_records",
+    "load_results_jsonl",
     "log2_binomial",
     "theorem2_lower_bound",
     "theorem4_lower_bound",

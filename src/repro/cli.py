@@ -1,6 +1,6 @@
-"""Command-line interface: single runs and experiment campaigns.
+"""Command-line interface: single runs, experiment campaigns, verification.
 
-Installed as the ``repro-dynamic-subgraphs`` console script.  Two modes:
+Installed as the ``repro-dynamic-subgraphs`` console script.  Three modes:
 
 * the default mode runs one algorithm/adversary combination and prints its
   metrics -- a thin layer over
@@ -8,11 +8,20 @@ Installed as the ``repro-dynamic-subgraphs`` console script.  Two modes:
 
       repro-dynamic-subgraphs --algorithm triangle --adversary churn --nodes 40 --rounds 300
 
+  ``--checks name1,name2`` (or ``--checks auto``) additionally runs the named
+  result checks and reports their metrics and structured failures.
+
 * the ``campaign`` subcommand expands a declarative JSON sweep spec and runs
   it across a worker pool (see :mod:`repro.experiments`), persisting per-cell
   results and traces and printing the aggregate table::
 
       repro-dynamic-subgraphs campaign --spec sweep.json --jobs 4
+
+* the ``verify`` subcommand differentially verifies every unique cell of a
+  sweep spec across the dense, sparse and sharded engines, running every
+  applicable registered check and reporting structured divergences::
+
+      repro-dynamic-subgraphs verify --spec sweep.json
 
 Both modes resolve algorithm and adversary names through the shared
 registries of :mod:`repro.experiments.registry`, so every implemented
@@ -24,6 +33,7 @@ command line.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -35,12 +45,21 @@ from .experiments import (
     ALGORITHMS,
     CampaignRunner,
     CampaignSpec,
+    ExperimentSpec,
     ResultStore,
     build_adversary,
 )
-from .simulator import ENGINE_MODES, SimulationRunner
+from .simulator import ENGINE_MODES
+from .verification import CHECKS
 
-__all__ = ["main", "build_parser", "build_campaign_parser", "campaign_main"]
+__all__ = [
+    "main",
+    "build_parser",
+    "build_campaign_parser",
+    "build_verify_parser",
+    "campaign_main",
+    "verify_main",
+]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -97,6 +116,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="record bandwidth violations instead of raising (needed for the naive baselines)",
     )
+    parser.add_argument(
+        "--checks",
+        default=None,
+        metavar="NAME[,NAME...]",
+        help="result checks to run after the simulation (see the registry: "
+        f"{', '.join(sorted(CHECKS))}); 'auto' selects every applicable check",
+    )
     return parser
 
 
@@ -117,37 +143,72 @@ def _adversary_params(args: argparse.Namespace) -> Dict:
 
 
 def _run_single(args: argparse.Namespace) -> int:
+    from .verification import applicable_checks, run_reference
+
     try:
-        adversary = build_adversary(
-            args.adversary,
+        spec = ExperimentSpec(
+            algorithm=args.algorithm,
+            adversary=args.adversary,
             n=args.nodes,
             rounds=args.rounds,
             seed=args.seed,
-            params=_adversary_params(args),
+            adversary_params=_adversary_params(args),
+            bandwidth_factor=args.bandwidth_factor,
+            strict_bandwidth=not args.loose_bandwidth,
+            engine_mode=args.engine,
+        )
+        if args.checks is None:
+            check_names: List[str] = []
+        elif args.checks.strip() == "auto":
+            check_names = applicable_checks(spec)
+        else:
+            check_names = [part.strip() for part in args.checks.split(",") if part.strip()]
+            # Rebuilding the spec with the checks attached funnels name and
+            # applicability validation through ExperimentSpec itself -- one
+            # validation path, one message format.
+            spec = ExperimentSpec.from_dict({**spec.to_dict(), "checks": check_names})
+        # Construct the adversary up front so bad parameters (undersized n,
+        # missing trace file) surface as usage errors; the unconsumed
+        # instance is handed to the run below.
+        adversary = build_adversary(
+            args.adversary,
+            n=spec.n,
+            rounds=spec.rounds,
+            seed=spec.seed,
+            params=spec.adversary_params,
         )
     except (ValueError, OSError) as exc:
+        # Exit 2 is reserved for usage errors (bad flags, bad spec inputs);
+        # failures *during* the simulation surface as tracebacks.
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    runner = SimulationRunner(
-        n=args.nodes,
-        algorithm_factory=ALGORITHMS[args.algorithm],
-        adversary=adversary,
-        bandwidth_factor=args.bandwidth_factor,
-        strict_bandwidth=not args.loose_bandwidth,
-        record_trace=args.save_trace is not None,
+    result, outcomes = run_reference(
+        spec,
         engine_mode=args.engine,
+        checks=check_names,
+        record_trace=args.save_trace is not None,
+        adversary=adversary,
     )
-    result = runner.run(num_rounds=args.rounds)
     if args.save_trace is not None:
         result.trace.save(args.save_trace)
         print(f"trace written to {args.save_trace}")
     summary = result.summary()
+    for outcome in outcomes.values():
+        summary.update(outcome.metrics)
     print(
         format_table(
             ["metric", "value"],
             sorted(summary.items()),
         )
     )
+    failures = [f for outcome in outcomes.values() for f in outcome.failures]
+    if failures:
+        print(f"\n{len(failures)} check failure(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure.describe()}", file=sys.stderr)
+        return 1
+    if check_names:
+        print(f"checks passed: {', '.join(check_names)}")
     return 0
 
 
@@ -227,6 +288,116 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
         first = report.failed[0]
         print(f"\nfirst failure ({first['cell_id']}):\n{first['error']}", file=sys.stderr)
         return 1
+    # Check violations do not error a cell (its metrics are still valid data)
+    # but they do fail the campaign: every campaign run is a correctness gate.
+    check_failed = [
+        record for record in report.records if record["metrics"].get("check_failures")
+    ]
+    if check_failed:
+        cells = ", ".join(record["cell_id"] for record in check_failed[:5])
+        print(
+            f"\n{len(check_failed)} cell(s) with check failures (e.g. {cells}); "
+            "run the 'verify' subcommand for the structured report",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# verify subcommand
+# --------------------------------------------------------------------- #
+def build_verify_parser() -> argparse.ArgumentParser:
+    """The ``verify`` subcommand parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-dynamic-subgraphs verify",
+        description="Differentially verify a sweep spec: run every unique cell under "
+        "two or more engine modes, assert bit-identity of round records, traces, "
+        "metrics and final node state, and execute every applicable registered "
+        "check. Checks not exercised by the spec run on their own coverage cells, "
+        "so a verify run executes the whole checks registry.",
+    )
+    parser.add_argument("--spec", type=Path, required=True, help="campaign spec JSON file")
+    parser.add_argument(
+        "--modes",
+        default="dense,sparse,sharded",
+        help="comma-separated engine modes to compare (default: dense,sparse,sharded)",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=None, help="verify at most this many unique cells"
+    )
+    parser.add_argument(
+        "--no-coverage",
+        action="store_true",
+        help="skip the coverage cells for checks the spec does not exercise",
+    )
+    parser.add_argument(
+        "--require-all-checks",
+        action="store_true",
+        help="fail (exit 1) if any registered check was never executed",
+    )
+    parser.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        help="write the full structured verification report to this JSON file",
+    )
+    return parser
+
+
+def verify_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``verify`` subcommand."""
+    from .verification import DEFAULT_MODES, verify_campaign
+
+    args = build_verify_parser().parse_args(argv)
+    modes = tuple(part.strip() for part in args.modes.split(",") if part.strip())
+    try:
+        campaign = CampaignSpec.load(args.spec)
+        if any(mode not in DEFAULT_MODES for mode in modes):
+            raise ValueError(
+                f"unknown mode in {modes}; choose from {', '.join(DEFAULT_MODES)}"
+            )
+        if len(modes) < 2:
+            raise ValueError("verify needs at least two engine modes to compare")
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def progress(cell, done, total):
+        label = " [coverage]" if cell.coverage else ""
+        checks = ",".join(cell.report.executed_checks) or "-"
+        verdict = "ok" if cell.ok else "FAIL"
+        print(f"[{done}/{total}] {cell.spec.cell_id}{label}: {verdict} (checks: {checks})")
+        if not cell.ok:
+            print(cell.report.describe(), file=sys.stderr)
+
+    print(f"verify {campaign.name!r} across {'/'.join(modes)}")
+    try:
+        summary = verify_campaign(
+            campaign,
+            modes=modes,
+            include_coverage=not args.no_coverage,
+            limit=args.limit,
+            progress=progress,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.report is not None:
+        args.report.write_text(json.dumps(summary.to_dict(), indent=2) + "\n")
+        print(f"report written to {args.report}")
+    print(
+        f"{len(summary.cells)} cells verified: {summary.num_divergences} divergences, "
+        f"{summary.num_check_failures} check failures"
+    )
+    print(f"checks executed: {', '.join(summary.executed_checks) or '-'}")
+    if summary.skipped_checks:
+        print(f"checks skipped: {', '.join(summary.skipped_checks)}")
+    if not summary.ok:
+        return 1
+    if args.require_all_checks and summary.skipped_checks:
+        print("error: some registered checks were never executed", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -235,6 +406,8 @@ def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "campaign":
         return campaign_main(argv[1:])
+    if argv and argv[0] == "verify":
+        return verify_main(argv[1:])
     args = build_parser().parse_args(argv)
     return _run_single(args)
 

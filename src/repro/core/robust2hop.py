@@ -90,7 +90,6 @@ class RobustTwoHopNode(NodeAlgorithm):
         self.Q: Deque[_QueueItem] = deque()
         #: Consistency flag ``C_v``.
         self.consistent: bool = True
-        self._queue_empty_at_send: bool = True
 
     # ------------------------------------------------------------------ #
     # Round hooks
@@ -117,14 +116,15 @@ class RobustTwoHopNode(NodeAlgorithm):
     def compose_messages(self, round_index: int) -> Dict[int, Envelope]:
         payload: Optional[_QueueItem] = self.Q.popleft() if self.Q else None
         # Theorem 7 piggybacks "IsEmpty = is the queue empty *now*", i.e. after
-        # the dequeue of this round.
-        self._queue_empty_at_send = not self.Q
+        # the dequeue of this round.  Kept local so composing with an empty
+        # queue stays a strict no-op on state (the quiescence contract).
+        queue_empty_at_send = not self.Q
         outgoing: Dict[int, Envelope] = {}
         for u, t_vu in self.adj.items():
             message = None
             if payload is not None and payload.timestamp >= t_vu:
                 message = EdgeEventMessage(payload.edge, payload.op, PatternMark.A)
-            envelope = Envelope(payload=message, is_empty=self._queue_empty_at_send)
+            envelope = Envelope(payload=message, is_empty=queue_empty_at_send)
             if not envelope.is_silent:
                 outgoing[u] = envelope
         return outgoing

@@ -110,7 +110,6 @@ class RobustThreeHopNode(NodeAlgorithm):
         #: Consistency flag ``C_v`` (two-round rule).
         self.consistent: bool = True
         self._prev_round_clean: bool = True
-        self._queue_empty_at_send: bool = True
         # Whether some neighbor reported a non-empty queue in the previous
         # round; broadcast as AreNeighborsEmpty in the current round.
         self._neighbor_reported_nonempty_prev: bool = False
@@ -121,40 +120,44 @@ class RobustThreeHopNode(NodeAlgorithm):
     def on_topology_change(
         self, round_index: int, inserted: Sequence[int], deleted: Sequence[int]
     ) -> None:
+        # Local state updates happen here, at indication time, not when the
+        # corresponding announcement reaches the queue head: an incident
+        # deletion whose prune were deferred would destroy knowledge that a
+        # re-insertion (and the announcements it triggers) rebuilt in between,
+        # leaving the node permanently short of ``R^{v,3}``.  The queue only
+        # delays what the *neighbors* hear, exactly like the robust 2-hop and
+        # triangle structures.
         for u in deleted:
             self.adj.discard(u)
+            self._remove_paths_through(canonical_edge(self.node_id, u), first_hop=None)
             self.Q.append(_DeleteItem(canonical_edge(self.node_id, u), hops=0))
         for u in inserted:
             self.adj.add(u)
+            self._store_path((self.node_id, u))
             self.Q.append(_PathItem((self.node_id, u)))
 
     def compose_messages(self, round_index: int) -> Dict[int, Envelope]:
-        self._queue_empty_at_send = not self.Q
+        # Local on purpose: composing with an empty queue must not mutate
+        # state (the quiescence contract the sparse engine relies on).
+        queue_empty_at_send = not self.Q
         are_neighbors_empty = not self._neighbor_reported_nonempty_prev
 
         item: Optional[_QueueItem] = self.Q.popleft() if self.Q else None
         payload = None
         if isinstance(item, _PathItem):
-            # Process the node's own announcement locally (a single-edge path
-            # records the incident edge; longer paths were already recorded
-            # when they were received).
-            if len(item.path) == 2:
-                self._store_path(item.path)
+            # Purely an announcement: the local store happened at indication
+            # time (re-storing here could resurrect an edge deleted since).
             payload = PathInsertMessage(item.path)
         elif isinstance(item, _DeleteItem):
-            if item.hops == 0:
-                # An original deletion of one of our incident edges: every
-                # stored path through that edge is now invalid.  Forwarded
-                # deletion items (hops > 0) were already pruned, restricted to
-                # the route they arrived on, when they were received.
-                self._remove_paths_through(item.edge, first_hop=None)
+            # Likewise announcement-only; local pruning happened at
+            # indication time (hops == 0) or at receive time (hops > 0).
             payload = EdgeDeleteHopMessage(item.edge, item.hops)
 
         outgoing: Dict[int, Envelope] = {}
         for u in self.adj:
             envelope = Envelope(
                 payload=payload,
-                is_empty=self._queue_empty_at_send,
+                is_empty=queue_empty_at_send,
                 are_neighbors_empty=are_neighbors_empty,
             )
             if not envelope.is_silent:

@@ -135,7 +135,6 @@ class TriangleMembershipNode(NodeAlgorithm):
         self.Q: Deque[_QueueItem] = deque()
         #: Consistency flag ``C_v``.
         self.consistent: bool = True
-        self._queue_empty_at_send: bool = True
 
     # ------------------------------------------------------------------ #
     # Round hooks
@@ -162,8 +161,11 @@ class TriangleMembershipNode(NodeAlgorithm):
         # Theorem 1 piggybacks "IsEmpty = was the queue empty at the beginning
         # of the round", i.e. before this round's dequeue.  Reporting emptiness
         # conservatively is what lets a neighbor conclude, one round later,
-        # that every hint derived from our queue has reached it.
-        self._queue_empty_at_send = not self.Q
+        # that every hint derived from our queue has reached it.  Kept local
+        # so composing with an empty queue is a strict no-op on state (the
+        # quiescence contract the sparse engine and the state-fingerprint
+        # identity gate rely on).
+        queue_empty_at_send = not self.Q
         item: Optional[_QueueItem] = self.Q.popleft() if self.Q else None
 
         targets_with_payload: Dict[int, EdgeEventMessage] = {}
@@ -185,7 +187,7 @@ class TriangleMembershipNode(NodeAlgorithm):
         for u in self.adj:
             envelope = Envelope(
                 payload=targets_with_payload.get(u),
-                is_empty=self._queue_empty_at_send,
+                is_empty=queue_empty_at_send,
             )
             if not envelope.is_silent:
                 outgoing[u] = envelope

@@ -26,9 +26,9 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..simulator.bandwidth import BandwidthPolicy
 from ..simulator.parallel import ShardedRoundEngine, shard_nodes
-from ..simulator.runner import SimulationRunner, drive_engine
+from ..simulator.runner import drive_engine
 from ..simulator.trace import TopologyTrace, TraceRecordingAdversary
-from .registry import ALGORITHMS, CHECKS, build_adversary
+from .registry import ALGORITHMS, build_adversary
 from .spec import CampaignSpec, ExperimentSpec
 from .store import ResultStore
 
@@ -43,7 +43,11 @@ def run_cell(spec: ExperimentSpec) -> Tuple[Dict[str, float], Optional[TopologyT
 
     The metrics dict merges the simulator's summary (amortized complexity,
     bandwidth accounting), the final edge count, and the outputs of the
-    spec's end-of-run checks.  ``trace`` is the realized schedule when
+    spec's end-of-run checks.  Checks are the first-class objects of
+    :mod:`repro.verification.checks`: any check with a per-round hook is
+    installed as a round validator, and every check is evaluated with the
+    spec in hand (so e.g. relocated flicker gadgets or parameterised clique
+    sizes are graded correctly).  ``trace`` is the realized schedule when
     ``spec.record_trace`` is set (always recorded, even for randomised
     adversaries, so any cell can be replayed bit-for-bit later).
     """
@@ -57,20 +61,28 @@ def run_cell(spec: ExperimentSpec) -> Tuple[Dict[str, float], Optional[TopologyT
     if spec.engine == "sharded":
         return _run_sharded(spec, adversary)
 
-    runner = SimulationRunner(
-        n=spec.n,
-        algorithm_factory=ALGORITHMS[spec.algorithm],
-        adversary=adversary,
-        bandwidth_factor=spec.bandwidth_factor,
-        strict_bandwidth=spec.strict_bandwidth,
-        record_trace=spec.record_trace,
+    # Deferred import: repro.verification.differential itself imports this
+    # package, so binding it at call time keeps initialization acyclic.
+    from ..verification.differential import run_reference
+
+    result, outcomes = run_reference(
+        spec,
         engine_mode=spec.engine_mode,
+        checks=spec.checks,
+        record_trace=spec.record_trace,
+        adversary=adversary,
     )
-    result = runner.run(num_rounds=spec.rounds, drain=spec.drain)
     metrics = result.summary()
     metrics["final_edges"] = float(result.network.num_edges)
-    for check in spec.checks:
-        metrics.update(CHECKS[check](result))
+    for outcome in outcomes.values():
+        metrics.update(outcome.metrics)
+    if spec.checks:
+        # Campaign records are float-only; the structured failures themselves
+        # are the verify subcommand's domain, but their count rides along so
+        # the campaign CLI can gate on it.
+        metrics["check_failures"] = float(
+            sum(len(outcome.failures) for outcome in outcomes.values())
+        )
     return metrics, result.trace
 
 

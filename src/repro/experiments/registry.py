@@ -9,9 +9,10 @@ this module owns the three registries that resolve those names:
 * :data:`ADVERSARIES` -- adversary builders ``builder(n, rounds, seed,
   params)`` covering every implemented adversary and the canned workload
   generators of :mod:`repro.workloads`.
-* :data:`CHECKS` -- end-of-run validators ``check(result)`` returning extra
-  metrics (e.g. whether the distributed answers match the centralized
-  oracle, or robust-set coverage ratios).
+* :data:`CHECKS` -- the first-class result checks of
+  :mod:`repro.verification.checks` (re-exported here for convenience):
+  oracle-backed validators with per-round hooks and structured failure
+  reports, whose metrics merge into each cell's record.
 
 The CLI shares these registries, so anything expressible on the command line
 is expressible in a campaign spec and vice versa.
@@ -36,6 +37,7 @@ from ..core import (
     CliqueMembershipNode,
     CycleListingNode,
     FullBroadcastNode,
+    HintFreeTriangleNode,
     NaiveForwardingNode,
     RobustThreeHopNode,
     RobustTwoHopNode,
@@ -43,16 +45,9 @@ from ..core import (
     TwoHopListingNode,
 )
 from ..core.membership import PATTERNS
-from ..oracle import (
-    khop_edges,
-    robust_three_hop,
-    robust_two_hop,
-    triangle_pattern_set,
-    triangles_containing,
-)
 from ..simulator import Adversary, Envelope, NodeAlgorithm, RoundChanges
-from ..simulator.runner import SimulationResult
 from ..simulator.trace import TopologyTrace, TraceReplayAdversary
+from ..verification.checks import CHECKS, ResultCheck, register_check
 from ..workloads import (
     growing_random_graph,
     planted_clique_churn,
@@ -74,11 +69,6 @@ __all__ = [
 #: the spec's round budget (may be ``None`` for finite-schedule adversaries)
 #: and ``params`` the adversary-specific keyword arguments from the spec.
 AdversaryBuilder = Callable[[int, Any, int, Dict[str, Any]], Adversary]
-
-#: An end-of-run check: receives the finished :class:`SimulationResult` and
-#: returns extra metrics to merge into the cell's record (floats only, so the
-#: record stays JSONL-serialisable and aggregatable).
-ResultCheck = Callable[[SimulationResult], Dict[str, float]]
 
 
 class NullWorkloadNode(NodeAlgorithm):
@@ -118,6 +108,7 @@ ALGORITHMS: Dict[str, Callable] = {
     "twohop": TwoHopListingNode,
     "naive": NaiveForwardingNode,
     "broadcast": FullBroadcastNode,
+    "triangle_nohints": HintFreeTriangleNode,
     "null": NullWorkloadNode,
 }
 
@@ -263,69 +254,9 @@ def build_adversary(
 # --------------------------------------------------------------------- #
 # End-of-run checks
 # --------------------------------------------------------------------- #
-def _check_consistent(result: SimulationResult) -> Dict[str, float]:
-    ok = all(node.is_consistent() for node in result.nodes.values())
-    return {"all_consistent": 1.0 if ok else 0.0}
-
-
-def _check_triangle_oracle(result: SimulationResult) -> Dict[str, float]:
-    edges = result.network.edges
-    ok = all(
-        node.known_triangles() == triangles_containing(edges, v)
-        for v, node in result.nodes.items()
-    )
-    return {"triangle_matches_oracle": 1.0 if ok else 0.0}
-
-
-def _check_coverage(result: SimulationResult) -> Dict[str, float]:
-    network = result.network
-    times = network.insertion_times()
-    edges = network.edges
-    ratios: Dict[str, list] = {"r2_e2": [], "t2_e2": [], "r3_e3": []}
-    for v in range(network.n):
-        e2 = khop_edges(edges, v, 2)
-        e3 = khop_edges(edges, v, 3)
-        if e2:
-            ratios["r2_e2"].append(len(robust_two_hop(edges, times, v)) / len(e2))
-            ratios["t2_e2"].append(len(triangle_pattern_set(edges, times, v)) / len(e2))
-        if e3:
-            ratios["r3_e3"].append(len(robust_three_hop(edges, times, v)) / len(e3))
-    return {
-        f"coverage_{key}": sum(vals) / len(vals)
-        for key, vals in ratios.items()
-        if vals
-    }
-
-
-def _check_flicker_ghost(result: SimulationResult) -> Dict[str, float]:
-    """The Section 1.3 verdict: does node ``v`` still believe the deleted far edge?
-
-    Assumes the default :class:`~repro.adversary.FlickerTriangleAdversary`
-    geometry (``v=0``, far edge ``{1, 2}``) and an algorithm exposing
-    ``knows_edge`` -- i.e. the E10 cast of naive / robust2hop / triangle.
-    A run whose final graph does not carry the default gadget's signature
-    (edges ``{0,1}`` and ``{0,2}`` present, ``{1,2}`` deleted) fails loudly
-    rather than grading the wrong node.
-    """
-    network = result.network
-    if not (network.has_edge(0, 1) and network.has_edge(0, 2)) or network.has_edge(1, 2):
-        raise ValueError(
-            "flicker_ghost assumes the default flicker geometry (v=0, far edge {1, 2}); "
-            "relocated v/u/w adversary_params are not supported by this check"
-        )
-    node_v = result.nodes[0]
-    return {
-        "believes_deleted_edge": 1.0 if node_v.knows_edge(1, 2) else 0.0,
-        "node_v_consistent": 1.0 if node_v.is_consistent() else 0.0,
-    }
-
-
-CHECKS: Dict[str, ResultCheck] = {
-    "consistent": _check_consistent,
-    "triangle_oracle": _check_triangle_oracle,
-    "coverage": _check_coverage,
-    "flicker_ghost": _check_flicker_ghost,
-}
+# The checks registry lives in :mod:`repro.verification.checks` (first-class
+# Check objects with per-round hooks and structured failure reports); CHECKS,
+# ResultCheck and register_check are re-exported above for compatibility.
 
 
 # --------------------------------------------------------------------- #
@@ -339,8 +270,3 @@ def register_algorithm(name: str, factory: Callable) -> None:
 def register_adversary(name: str, builder: AdversaryBuilder) -> None:
     """Register an extra adversary builder under ``name``."""
     ADVERSARIES[name] = builder
-
-
-def register_check(name: str, check: ResultCheck) -> None:
-    """Register an extra end-of-run check under ``name``."""
-    CHECKS[name] = check

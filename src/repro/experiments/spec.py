@@ -121,6 +121,38 @@ class ExperimentSpec:
                 "end-of-run checks need access to the node instances and are "
                 "only supported with engine='serial'"
             )
+        # Reject inapplicable checks at spec-validation time rather than
+        # mid-campaign: a check that only understands certain algorithms or
+        # adversaries (or needs a drained final state) should fail here, with
+        # a message naming the constraint.
+        for name in self.checks:
+            check = CHECKS[name]
+            algorithms = getattr(check, "algorithms", None)
+            if algorithms is not None and self.algorithm not in algorithms:
+                raise ValueError(
+                    f"check {name!r} does not apply to algorithm {self.algorithm!r} "
+                    f"(supported: {sorted(algorithms)})"
+                )
+            adversaries = getattr(check, "adversaries", None)
+            if adversaries is not None and self.adversary not in adversaries:
+                raise ValueError(
+                    f"check {name!r} does not apply to adversary {self.adversary!r} "
+                    f"(supported: {sorted(adversaries)})"
+                )
+            if getattr(check, "requires_drain", False) and not self.drain:
+                raise ValueError(
+                    f"check {name!r} grades the drained final state; it cannot run "
+                    "with drain=False"
+                )
+            # The attribute checks above exist for their specific messages; a
+            # check may further narrow applicability by overriding
+            # applies_to, which stays authoritative.
+            applies_to = getattr(check, "applies_to", None)
+            if applies_to is not None and not applies_to(self):
+                raise ValueError(
+                    f"check {name!r} does not apply to this spec "
+                    f"(algorithm {self.algorithm!r}, adversary {self.adversary!r})"
+                )
 
     # ------------------------------------------------------------------ #
     # Serialisation

@@ -23,7 +23,7 @@ import math
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
-from ..analysis.tables import format_table
+from ..analysis.tables import format_table, load_results_jsonl, record_lookup
 from ..simulator.trace import TopologyTrace
 
 __all__ = ["ResultStore", "percentile"]
@@ -47,23 +47,9 @@ def percentile(values: Sequence[float], q: float) -> float:
     return float(ordered[lo] * (1 - frac) + ordered[hi] * frac)
 
 
-def _lookup(record: Mapping[str, Any], dotted: str) -> Any:
-    """Resolve ``spec.n``-style dotted paths into a record.
-
-    Bare names are tried as spec fields first, then as metrics, so the common
-    ``group_by=("algorithm", "n")`` just works.
-    """
-    if "." in dotted:
-        node: Any = record
-        for part in dotted.split("."):
-            if not isinstance(node, Mapping) or part not in node:
-                return None
-            node = node[part]
-        return node
-    spec = record.get("spec", {})
-    if dotted in spec:
-        return spec[dotted]
-    return record.get("metrics", {}).get(dotted)
+#: ``spec.n``-style dotted-path resolution, shared with the analysis tables
+#: (bare names try spec fields first, then metrics).
+_lookup = record_lookup
 
 
 class ResultStore:
@@ -117,21 +103,11 @@ class ResultStore:
 
         Undecodable lines are skipped: appends are flushed line-by-line, so a
         corrupt line can only be a torn (interrupted) append, and dropping it
-        simply makes the resume pass re-run that cell.
+        simply makes the resume pass re-run that cell.  Delegates to
+        :func:`repro.analysis.tables.load_results_jsonl`, the single JSONL
+        reader shared with the analysis layer.
         """
-        if not self.results_path.exists():
-            return []
-        out: List[Dict[str, Any]] = []
-        for line in self.results_path.read_text().splitlines():
-            if not line.strip():
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                continue
-            if isinstance(record, dict) and "cell_id" in record:
-                out.append(record)
-        return out
+        return load_results_jsonl(self.results_path)
 
     def latest(self) -> Dict[str, Dict[str, Any]]:
         """The most recent record per cell id (later lines win)."""

@@ -38,7 +38,13 @@ from .messages import (
 )
 from .metrics import MetricsCollector, RoundRecord
 from .network import DynamicNetwork, NodeIndication, TopologyError
-from .node import AlgorithmFactory, NodeAlgorithm, QuiescenceProtocol
+from .node import (
+    AlgorithmFactory,
+    NodeAlgorithm,
+    QuiescenceProtocol,
+    canonical_state,
+    state_fingerprint,
+)
 from .parallel import ShardedRoundEngine, shard_nodes
 from .rounds import (
     ENGINE_MODES,
@@ -58,6 +64,7 @@ __all__ = [
     "BandwidthPolicy",
     "BandwidthViolation",
     "canonical_edge",
+    "canonical_state",
     "create_engine",
     "drive_engine",
     "DynamicNetwork",
@@ -83,6 +90,7 @@ __all__ = [
     "RoundValidator",
     "ShardedRoundEngine",
     "shard_nodes",
+    "state_fingerprint",
     "SimulationResult",
     "SimulationRunner",
     "SparseRoundEngine",

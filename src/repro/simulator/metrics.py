@@ -62,26 +62,22 @@ class MetricsCollector:
         num_envelopes: int,
         bits_sent: int,
     ) -> RoundRecord:
-        """Record the outcome of one round and return its summary record."""
-        self._current_inconsistent = set(inconsistent_nodes)
-        record = RoundRecord(
+        """Record the outcome of one round and return its summary record.
+
+        Thin wrapper over :meth:`record_round_delta`: the full inconsistent
+        list is diffed against the live set, so both entry points share one
+        accounting implementation and can never drift apart.
+        """
+        new = set(inconsistent_nodes)
+        current = self._current_inconsistent
+        return self.record_round_delta(
             round_index=round_index,
             num_changes=num_changes,
-            num_inconsistent_nodes=len(inconsistent_nodes),
+            became_inconsistent=new - current,
+            became_consistent=current - new,
             num_envelopes=num_envelopes,
             bits_sent=bits_sent,
         )
-        self.rounds.append(record)
-        self._total_changes += num_changes
-        self._total_envelopes += num_envelopes
-        self._total_bits += bits_sent
-        if inconsistent_nodes:
-            self._inconsistent_rounds += 1
-        for node in inconsistent_nodes:
-            self.per_node_inconsistent_rounds[node] = (
-                self.per_node_inconsistent_rounds.get(node, 0) + 1
-            )
-        return record
 
     def record_round_delta(
         self,

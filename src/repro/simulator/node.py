@@ -42,12 +42,73 @@ the dense semantics for algorithms that have not been ported.
 
 from __future__ import annotations
 
+import hashlib
 from abc import ABC, abstractmethod
+from collections import deque
 from typing import Any, Callable, Dict, Mapping, Protocol, Sequence, runtime_checkable
 
 from .messages import Envelope
 
-__all__ = ["NodeAlgorithm", "AlgorithmFactory", "QuiescenceProtocol"]
+__all__ = [
+    "NodeAlgorithm",
+    "AlgorithmFactory",
+    "QuiescenceProtocol",
+    "canonical_state",
+    "state_fingerprint",
+]
+
+
+def canonical_state(obj: Any) -> Any:
+    """A deterministic, order-independent canonical form of a state value.
+
+    Sets and dicts are sorted (by the repr of their canonicalized elements, so
+    mixed-type keys are fine), sequences become tuples, and arbitrary objects
+    recurse into their ``__dict__`` under their class name -- which keeps the
+    result independent of memory addresses and hash randomization.  Used by
+    :func:`state_fingerprint` to compare node state across engines and
+    processes.
+    """
+    if isinstance(obj, (str, int, float, bool, bytes, type(None))):
+        return obj
+    if isinstance(obj, (set, frozenset)):
+        return ("set", tuple(sorted((repr(canonical_state(x)) for x in obj))))
+    if isinstance(obj, dict):
+        return (
+            "dict",
+            tuple(
+                sorted(
+                    (repr(canonical_state(k)), repr(canonical_state(v)))
+                    for k, v in obj.items()
+                )
+            ),
+        )
+    if isinstance(obj, (list, tuple, deque)):
+        return ("seq", tuple(canonical_state(x) for x in obj))
+    if hasattr(obj, "__dict__"):
+        return ("obj", type(obj).__name__, canonical_state(vars(obj)))
+    rendered = repr(obj)
+    if " object at 0x" in rendered:
+        # A default repr embeds the memory address, which differs between the
+        # coordinator and forked shard workers and would turn an identical
+        # run into a spurious final-state divergence.  Fail loudly instead.
+        raise TypeError(
+            f"cannot canonicalize {type(obj).__name__} (no __dict__ and only a "
+            "default repr); give it a deterministic __repr__ or state attributes"
+        )
+    return ("repr", rendered)
+
+
+def state_fingerprint(obj: Any) -> str:
+    """A stable digest of an object's full local state.
+
+    Two objects of the same class whose (recursively canonicalized) attribute
+    dictionaries coincide get the same fingerprint, regardless of process,
+    hash seed, or set/dict insertion order.  The differential verification
+    harness uses this to assert final-node-state identity across round
+    engines without shipping whole node objects around.
+    """
+    payload = repr((type(obj).__name__, canonical_state(vars(obj))))
+    return hashlib.sha1(payload.encode()).hexdigest()
 
 
 @runtime_checkable
@@ -155,6 +216,10 @@ class NodeAlgorithm(ABC):
     def local_state_size(self) -> int:
         """A rough count of items held locally (for memory profiling)."""
         return 0
+
+    def state_fingerprint(self) -> str:
+        """A stable digest of this node's full local state (see :func:`state_fingerprint`)."""
+        return state_fingerprint(self)
 
 
 #: A factory building the algorithm instance for one node.  The runner calls

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+from types import MappingProxyType
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .bandwidth import BandwidthPolicy
@@ -82,7 +83,7 @@ def _worker_loop(
     sent_last: set = set()
     react_active: List[int] = []
     react_round = -1
-    empty_inbox: Dict[int, Envelope] = {}
+    empty_inbox: Mapping[int, Envelope] = MappingProxyType({})
     while True:
         op, payload = conn.recv()
         if op == "stop":
@@ -135,6 +136,8 @@ def _worker_loop(
             conn.send(("ok", nodes[node_id].query(query)))
         elif op == "state_size":
             conn.send(("ok", {v: algo.local_state_size() for v, algo in nodes.items()}))
+        elif op == "fingerprint":
+            conn.send(("ok", {v: algo.state_fingerprint() for v, algo in nodes.items()}))
         else:  # pragma: no cover - defensive
             conn.send(("error", f"unknown op {op!r}"))
 
@@ -325,6 +328,23 @@ class ShardedRoundEngine:
         if status != "ok":  # pragma: no cover - defensive
             raise RuntimeError(answer)
         return answer
+
+    def state_fingerprints(self) -> Dict[int, str]:
+        """Per-node state digests gathered from the workers.
+
+        The differential verification harness compares these against the
+        fingerprints of a serial run to prove final-state identity without
+        shipping the node objects back to the coordinator.
+        """
+        for conn in self._conns:
+            conn.send(("fingerprint", None))
+        fingerprints: Dict[int, str] = {}
+        for conn in self._conns:
+            status, shard_fp = conn.recv()
+            if status != "ok":  # pragma: no cover - defensive
+                raise RuntimeError(shard_fp)
+            fingerprints.update(shard_fp)
+        return fingerprints
 
     def shutdown(self) -> None:
         """Terminate the worker processes."""

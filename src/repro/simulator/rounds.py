@@ -36,6 +36,7 @@ Two schedulers implement the model:
 
 from __future__ import annotations
 
+from types import MappingProxyType
 from typing import Dict, List, Mapping, Optional, Set
 
 from .bandwidth import BandwidthPolicy
@@ -51,8 +52,10 @@ __all__ = ["RoundEngine", "SparseRoundEngine", "MessageTargetError", "ENGINE_MOD
 ENGINE_MODES = ("dense", "sparse")
 
 #: Shared empty inbox handed to nodes that received nothing this round, so
-#: quiet nodes do not cost one dict allocation each per round.
-_EMPTY_INBOX: Mapping[int, Envelope] = {}
+#: quiet nodes do not cost one dict allocation each per round.  Read-only so
+#: a misbehaving algorithm mutating its ``received`` mapping fails loudly
+#: instead of corrupting every later quiet node in the process.
+_EMPTY_INBOX: Mapping[int, Envelope] = MappingProxyType({})
 
 
 class MessageTargetError(RuntimeError):

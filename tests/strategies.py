@@ -1,0 +1,105 @@
+"""Shared Hypothesis strategies: random schedules and random experiment specs.
+
+Used by the property-based tests to generate
+
+* legal churn schedules (per round: deletions of present edges, insertions of
+  absent edges, at most one event per edge per round), and
+* whole :class:`~repro.experiments.spec.ExperimentSpec` cells -- an algorithm
+  drawn from the registry, a workload that is either an inline scripted trace
+  (the generated schedule, replayed bit-for-bit by every engine) or a seeded
+  random churn adversary, and small sizes/budgets that keep each example fast.
+
+The spec strategy is what the dense-vs-sparse-vs-sharded differential
+property test feeds to :func:`repro.verification.run_differential`.
+"""
+
+from typing import List, Tuple
+
+from hypothesis import strategies as st
+
+from repro.experiments import ExperimentSpec
+
+__all__ = ["churn_schedules", "experiment_specs", "schedule_to_trace"]
+
+
+@st.composite
+def churn_schedules(draw, n: int = 8, max_rounds: int = 14, max_events_per_round: int = 3):
+    """Generate a legal schedule: per round, deletions of present edges and
+    insertions of absent edges (at most one event per edge per round)."""
+    num_rounds = draw(st.integers(min_value=1, max_value=max_rounds))
+    present: set = set()
+    rounds: List[Tuple[List[Tuple[int, int]], List[Tuple[int, int]]]] = []
+    all_pairs = [(u, w) for u in range(n) for w in range(u + 1, n)]
+    for _ in range(num_rounds):
+        num_events = draw(st.integers(min_value=0, max_value=max_events_per_round))
+        inserts: List[Tuple[int, int]] = []
+        deletes: List[Tuple[int, int]] = []
+        touched: set = set()
+        for _ in range(num_events):
+            pair = draw(st.sampled_from(all_pairs))
+            if pair in touched:
+                continue
+            touched.add(pair)
+            if pair in present:
+                deletes.append(pair)
+                present.discard(pair)
+            else:
+                inserts.append(pair)
+                present.add(pair)
+        rounds.append((inserts, deletes))
+    return rounds
+
+
+def schedule_to_trace(n: int, rounds) -> dict:
+    """An explicit schedule as the inline-trace dict the ``scripted`` adversary takes."""
+    return {
+        "n": n,
+        "rounds": [
+            {"insert": [list(e) for e in inserts], "delete": [list(e) for e in deletes]}
+            for inserts, deletes in rounds
+        ],
+    }
+
+
+#: Algorithms the random-spec strategy draws from: every paper structure that
+#: is cheap enough to run dozens of times per test session.
+SPEC_ALGORITHMS = ("robust2hop", "triangle", "clique", "robust3hop", "twohop", "cycles")
+
+
+@st.composite
+def experiment_specs(draw, max_n: int = 9):
+    """Generate a small random :class:`ExperimentSpec` cell.
+
+    The workload is either the exact schedule of :func:`churn_schedules`
+    (as an inline scripted trace) or a seeded random churn adversary; both
+    are deterministic given the spec, so the same cell replays identically
+    under every engine.
+    """
+    algorithm = draw(st.sampled_from(SPEC_ALGORITHMS))
+    n = draw(st.integers(min_value=5, max_value=max_n))
+    use_scripted = draw(st.booleans())
+    if use_scripted:
+        rounds = draw(churn_schedules(n=n, max_rounds=10, max_events_per_round=3))
+        return ExperimentSpec(
+            algorithm=algorithm,
+            adversary="scripted",
+            n=n,
+            adversary_params={"trace": schedule_to_trace(n, rounds)},
+            num_workers=draw(st.integers(min_value=2, max_value=3)),
+        )
+    adversary = draw(st.sampled_from(("churn", "p2p")))
+    params = {}
+    if adversary == "churn" and draw(st.booleans()):
+        params = {
+            "inserts_per_round": draw(st.integers(min_value=1, max_value=3)),
+            "deletes_per_round": draw(st.integers(min_value=0, max_value=2)),
+        }
+    return ExperimentSpec(
+        algorithm=algorithm,
+        adversary=adversary,
+        n=n,
+        rounds=draw(st.integers(min_value=1, max_value=25)),
+        seed=draw(st.integers(min_value=0, max_value=2**16)),
+        adversary_params=params,
+        num_workers=draw(st.integers(min_value=2, max_value=3)),
+    )

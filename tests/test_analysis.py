@@ -1,21 +1,27 @@
 """Tests for the analysis utilities (fits, counting bounds, tables)."""
 
 import math
+from pathlib import Path
 
 import pytest
 
 from repro.analysis import (
     MODELS,
+    campaign_table,
     compare_models,
     fit_scaled_model,
     format_table,
     growth_exponent,
     is_bounded_by_constant,
+    latest_ok_records,
+    load_results_jsonl,
     log2_binomial,
     theorem2_lower_bound,
     theorem4_lower_bound,
     write_csv,
 )
+
+FIXTURE_STORE = Path(__file__).parent / "data" / "campaign_store"
 
 
 class TestGrowthFits:
@@ -133,3 +139,69 @@ class TestTables:
         content = path.read_text().strip().splitlines()
         assert content[0] == "a,b"
         assert content[2] == "3,4"
+
+
+class TestCampaignStoreLoading:
+    """Reading campaign ResultStore JSONL directly (no CSV intermediary)."""
+
+    def test_load_recorded_fixture(self):
+        records = load_results_jsonl(FIXTURE_STORE)
+        assert len(records) == 4
+        assert all(record["status"] == "ok" for record in records)
+        assert {record["spec"]["n"] for record in records} == {8, 10}
+
+    def test_accepts_file_or_directory(self):
+        via_dir = load_results_jsonl(FIXTURE_STORE)
+        via_file = load_results_jsonl(FIXTURE_STORE / "results.jsonl")
+        assert via_dir == via_file
+
+    def test_missing_store_is_empty(self, tmp_path):
+        assert load_results_jsonl(tmp_path / "nope") == []
+
+    def test_fixture_table_round_trip(self):
+        """The recorded store renders to the recorded expected table, byte for byte."""
+        headers, rows = campaign_table(
+            FIXTURE_STORE,
+            ["n", "seed", "total_changes", "amortized_round_complexity",
+             "triangle_matches_oracle"],
+        )
+        rendered = format_table(headers, rows) + "\n"
+        expected = (FIXTURE_STORE / "expected_table.txt").read_text()
+        assert rendered == expected
+
+    def test_round_trip_through_result_store(self, tmp_path):
+        """Records appended via ResultStore come back identical through the loader."""
+        from repro.experiments import ResultStore
+
+        store = ResultStore(tmp_path / "store")
+        records = load_results_jsonl(FIXTURE_STORE)
+        for record in records:
+            store.append(record)
+        assert load_results_jsonl(store.root) == records
+        assert latest_ok_records(load_results_jsonl(store.root)) == latest_ok_records(records)
+
+    def test_latest_record_wins(self):
+        records = [
+            {"cell_id": "a", "status": "error", "metrics": {}},
+            {"cell_id": "a", "status": "ok", "metrics": {"x": 1.0}},
+            {"cell_id": "b", "status": "error", "metrics": {}},
+        ]
+        latest = latest_ok_records(records)
+        assert len(latest) == 1 and latest[0]["metrics"] == {"x": 1.0}
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        store_dir = tmp_path / "store"
+        store_dir.mkdir()
+        good = '{"cell_id": "a", "status": "ok", "metrics": {}}'
+        (store_dir / "results.jsonl").write_text(good + '\n{"cell_id": "b", "stat')
+        records = load_results_jsonl(store_dir)
+        assert [r["cell_id"] for r in records] == ["a"]
+
+    def test_dotted_column_lookup(self):
+        headers, rows = campaign_table(
+            FIXTURE_STORE,
+            ["spec.adversary_params.inserts_per_round", "n"],
+            headers=["ins/round", "n"],
+        )
+        assert headers == ["ins/round", "n"]
+        assert all(row[0] == 2 for row in rows)

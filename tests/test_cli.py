@@ -4,7 +4,13 @@ import json
 
 import pytest
 
-from repro.cli import ALGORITHMS, build_campaign_parser, build_parser, main
+from repro.cli import (
+    ALGORITHMS,
+    build_campaign_parser,
+    build_parser,
+    build_verify_parser,
+    main,
+)
 
 
 class TestParser:
@@ -175,6 +181,29 @@ class TestCampaignSubcommand:
         assert code == 2
         assert "error" in capsys.readouterr().err
 
+    def test_check_failures_gate_the_campaign(self, tmp_path, capsys):
+        # n=25 gives the Remark 1 construction D=4 leaves with only 2
+        # attached per hub -- no guaranteed overlap, so threepath_visits
+        # legitimately fails; the campaign must exit nonzero on it.
+        spec = {
+            "name": "cli-check-gate",
+            "base": {
+                "algorithm": "null",
+                "adversary": "threepath",
+                "n": 25,
+                "adversary_params": {"num_components": 2},
+                "checks": ["threepath_visits"],
+            },
+            "grid": {},
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        code = main(["campaign", "--spec", str(path), "--out", str(tmp_path / "store")])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "check failures" in captured.err
+        assert "ran 1 cells" in captured.out
+
     def test_failing_cell_sets_exit_code(self, tmp_path, capsys):
         spec = {
             "name": "cli-fail",
@@ -190,6 +219,112 @@ class TestCampaignSubcommand:
         code = main(["campaign", "--spec", str(path), "--out", str(tmp_path / "store")])
         assert code == 1
         assert "1 failed" in capsys.readouterr().out
+
+
+class TestChecksFlag:
+    def test_named_checks_report_metrics(self, capsys):
+        code = main(
+            [
+                "--algorithm", "triangle", "--nodes", "10", "--rounds", "25",
+                "--checks", "triangle_oracle,consistent",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "triangle_matches_oracle" in out
+        assert "all_consistent" in out
+        assert "checks passed: triangle_oracle, consistent" in out
+
+    def test_auto_selects_applicable_checks(self, capsys):
+        code = main(
+            ["--algorithm", "robust2hop", "--nodes", "10", "--rounds", "20", "--checks", "auto"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "robust2hop_matches_oracle" in out
+
+    def test_unknown_check_is_rejected(self, capsys):
+        code = main(["--nodes", "10", "--rounds", "10", "--checks", "magic"])
+        assert code == 2
+        assert "unknown checks" in capsys.readouterr().err
+
+    def test_inapplicable_check_is_rejected(self, capsys):
+        code = main(
+            ["--algorithm", "robust2hop", "--nodes", "10", "--rounds", "10",
+             "--checks", "triangle_oracle"]
+        )
+        assert code == 2
+        assert "does not apply" in capsys.readouterr().err
+
+
+class TestVerifySubcommand:
+    @pytest.fixture
+    def spec_file(self, tmp_path):
+        spec = {
+            "name": "verify-smoke",
+            "base": {
+                "algorithm": "triangle",
+                "adversary": "churn",
+                "rounds": 20,
+                "adversary_params": {"inserts_per_round": 2, "deletes_per_round": 1},
+            },
+            "grid": {"n": [8], "engine_mode": ["dense", "sparse"]},
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        return path
+
+    def test_parser_defaults(self, spec_file):
+        args = build_verify_parser().parse_args(["--spec", str(spec_file)])
+        assert args.modes == "dense,sparse,sharded"
+        assert not args.no_coverage and not args.require_all_checks
+
+    def test_verify_dedupes_engine_axis_and_passes(self, spec_file, capsys):
+        code = main(
+            ["verify", "--spec", str(spec_file), "--modes", "dense,sparse", "--no-coverage"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # The two engine_mode cells normalize to one differential run.
+        assert "[1/1]" in out
+        assert "0 divergences, 0 check failures" in out
+        assert "triangle_oracle" in out
+
+    def test_require_all_checks_fails_without_coverage(self, spec_file, capsys):
+        code = main(
+            [
+                "verify", "--spec", str(spec_file), "--modes", "dense,sparse",
+                "--no-coverage", "--require-all-checks",
+            ]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "checks skipped" in captured.out
+        assert "never executed" in captured.err
+
+    def test_report_file(self, spec_file, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        code = main(
+            [
+                "verify", "--spec", str(spec_file), "--modes", "dense,sparse",
+                "--no-coverage", "--report", str(report_path),
+            ]
+        )
+        assert code == 0
+        report = json.loads(report_path.read_text())
+        assert report["ok"] is True
+        assert report["cells"][0]["modes"] == ["dense", "sparse"]
+        assert "triangle_oracle" in report["executed_checks"]
+
+    def test_unknown_mode_is_rejected(self, spec_file, capsys):
+        code = main(["verify", "--spec", str(spec_file), "--modes", "dense,turbo"])
+        assert code == 2
+        assert "unknown mode" in capsys.readouterr().err
+
+    def test_missing_spec_file(self, tmp_path, capsys):
+        code = main(["verify", "--spec", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
 
 
 class TestEngineFlag:

@@ -279,10 +279,26 @@ class TestFlickerGhostCheck:
         assert metrics["node_v_consistent"] == 1.0
         assert metrics["believes_deleted_edge"] == 1.0
 
-    def test_relocated_geometry_fails_loudly(self):
+    def test_relocated_geometry_supported(self):
+        # Regression: relocated v/u/w used to crash the check mid-campaign
+        # ("default flicker geometry"); the promoted check reads the gadget
+        # position from the spec and grades the actual node v.
         spec = ExperimentSpec(
             algorithm="naive", adversary="flicker", n=16, checks=("flicker_ghost",),
             adversary_params={"v": 9, "u": 10, "w": 11}, record_trace=False,
         )
-        with pytest.raises(ValueError, match="default flicker geometry"):
-            run_cell(spec)
+        metrics, _ = run_cell(spec)
+        assert metrics["node_v_consistent"] == 1.0
+        assert metrics["believes_deleted_edge"] == 1.0
+
+    def test_relocated_geometry_correct_structure(self):
+        # The robust structure at the same relocated gadget must NOT believe
+        # the deleted far edge.
+        spec = ExperimentSpec(
+            algorithm="robust2hop", adversary="flicker", n=16,
+            checks=("flicker_ghost",),
+            adversary_params={"v": 9, "u": 10, "w": 11}, record_trace=False,
+        )
+        metrics, _ = run_cell(spec)
+        assert metrics["node_v_consistent"] == 1.0
+        assert metrics["believes_deleted_edge"] == 0.0

@@ -1,16 +1,18 @@
 """Property-based tests (hypothesis): random schedules against the oracle.
 
-These tests generate arbitrary legal insertion/deletion schedules and check
-the paper's invariants on every one of them:
+These tests generate arbitrary legal insertion/deletion schedules (and whole
+random experiment cells, via :mod:`strategies`) and check the paper's
+invariants on every one of them:
 
 * Theorem 7 -- the robust 2-hop structure equals ``R^{v,2}`` once drained;
 * Theorem 1 -- the triangle structure equals ``T^{v,2}`` once drained, and
   never believes in a triangle that does not exist while it claims consistency;
 * Theorem 6 -- the robust 3-hop structure satisfies its sandwich once drained;
-* the simulator's amortized accounting never exceeds the number of rounds.
+* the simulator's amortized accounting never exceeds the number of rounds;
+* the dense, sparse and sharded engines produce bit-identical round records,
+  traces, metrics and final node state on arbitrary cells (the differential
+  harness of :mod:`repro.verification`).
 """
-
-from typing import List, Tuple
 
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
@@ -25,36 +27,18 @@ from repro.oracle import (
     triangles_containing,
 )
 from repro.simulator import RoundChanges, SimulationRunner
+from repro.verification import run_differential
+
+from strategies import churn_schedules, experiment_specs
 
 N_NODES = 8
 
 
-@st.composite
-def schedules(draw, max_rounds: int = 14, max_events_per_round: int = 3):
-    """Generate a legal schedule: per round, deletions of present edges and
-    insertions of absent edges (at most one event per edge per round)."""
-    num_rounds = draw(st.integers(min_value=1, max_value=max_rounds))
-    present: set = set()
-    rounds: List[Tuple[List[Tuple[int, int]], List[Tuple[int, int]]]] = []
-    all_pairs = [(u, w) for u in range(N_NODES) for w in range(u + 1, N_NODES)]
-    for _ in range(num_rounds):
-        num_events = draw(st.integers(min_value=0, max_value=max_events_per_round))
-        inserts: List[Tuple[int, int]] = []
-        deletes: List[Tuple[int, int]] = []
-        touched: set = set()
-        for _ in range(num_events):
-            pair = draw(st.sampled_from(all_pairs))
-            if pair in touched:
-                continue
-            touched.add(pair)
-            if pair in present:
-                deletes.append(pair)
-                present.discard(pair)
-            else:
-                inserts.append(pair)
-                present.add(pair)
-        rounds.append((inserts, deletes))
-    return rounds
+def schedules(max_rounds: int = 14, max_events_per_round: int = 3):
+    """The shared schedule strategy, pinned to this module's network size."""
+    return churn_schedules(
+        n=N_NODES, max_rounds=max_rounds, max_events_per_round=max_events_per_round
+    )
 
 
 def run_to_quiescence(factory, rounds):
@@ -151,3 +135,29 @@ class TestMetricsProperties:
         result = run_to_quiescence(RobustTwoHopNode, rounds)
         assert result.metrics.inconsistent_rounds <= result.metrics.rounds_executed
         assert result.metrics.total_changes == sum(len(i) + len(d) for i, d in rounds)
+
+
+class TestEngineDifferentialProperties:
+    """Random cells through the differential harness: the three engines must agree."""
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(spec=experiment_specs())
+    def test_dense_sparse_sharded_identical(self, spec):
+        report = run_differential(
+            spec, modes=("dense", "sparse", "sharded"), auto_checks=True
+        )
+        assert report.ok, report.describe()
+
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(spec=experiment_specs())
+    def test_dense_sparse_identical(self, spec):
+        report = run_differential(spec, modes=("dense", "sparse"), auto_checks=True)
+        assert report.ok, report.describe()

@@ -170,3 +170,41 @@ class TestAgainstOracleUnderChurn:
         # Theorem 6's accounting gives a small constant (3 enqueue rounds per
         # change, plus the two-round consistency rule).
         assert result.metrics.max_running_amortized_complexity() <= 4.0 + 1e-9
+
+
+class TestStaleIncidentDeletion:
+    """Regression: local prune/store must happen at indication time.
+
+    Found by the differential/property harness (PR 3): when an incident edge
+    is deleted and re-inserted while the announcement queue is backlogged, a
+    prune deferred to the queue head would destroy paths the re-insertion's
+    announcements had just rebuilt, leaving the node permanently short of
+    ``R^{v,3}``.
+    """
+
+    FALSIFYING_SCHEDULE = [
+        ([(0, 1), (0, 3)], []),
+        ([(3, 7)], []),
+        ([], [(3, 7), (0, 3)]),
+        ([(0, 7), (3, 7)], []),
+    ]
+
+    def test_delete_reinsert_with_backlogged_queue(self):
+        result, _ = run_schedule(RobustThreeHopNode, self.FALSIFYING_SCHEDULE, n=8)
+        assert_sandwich(result)
+        # Node 3 must know (0, 7): both edges of the path 3-7-0 were inserted
+        # in the same round, so the edge is robust for it.
+        assert (0, 7) in result.nodes[3].known_edges()
+
+    def test_stale_reinsert_does_not_resurrect_deleted_edge(self):
+        # The mirrored hazard: a backlogged insert announcement must not
+        # re-store an incident edge that was deleted after the insertion.
+        schedule = [
+            ([(0, 1), (0, 3)], []),       # backlog node 0's queue
+            ([(3, 7)], []),
+            ([], [(3, 7)]),
+            ([], []),
+        ]
+        result, _ = run_schedule(RobustThreeHopNode, schedule, n=8)
+        assert_sandwich(result)
+        assert (3, 7) not in result.nodes[3].known_edges()

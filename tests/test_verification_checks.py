@@ -1,0 +1,193 @@
+"""Every registered check: a passing fixture and a corrupted one that must fail.
+
+For each entry of the :data:`repro.verification.CHECKS` registry this module
+runs a small deterministic cell on which the check passes, then deliberately
+corrupts the finished :class:`~repro.simulator.runner.SimulationResult` (or
+its recorded trace) and asserts the check now reports a structured
+:class:`~repro.verification.CheckFailure` -- with the offending check name,
+field, and (where applicable) node.
+
+A registry entry without a fixture here fails the suite, so new checks must
+ship with both fixtures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentSpec
+from repro.simulator import RoundChanges
+from repro.verification import CHECKS, CheckSession, run_reference
+
+TRIANGLE = [(0, 1), (0, 2), (1, 2)]
+
+
+def _scripted(n: int, edges) -> dict:
+    """A spec dict replaying the given edges, one insertion per round."""
+    return {
+        "n": n,
+        "adversary": "scripted",
+        "adversary_params": {
+            "trace": {
+                "n": n,
+                "rounds": [{"insert": [list(e)], "delete": []} for e in edges],
+            }
+        },
+    }
+
+
+def _delete_edges(result, edges) -> None:
+    """Corrupt the ground-truth network: delete edges behind the nodes' backs."""
+    result.network.apply_changes(
+        result.network.round_index + 1, RoundChanges.deletes(edges)
+    )
+
+
+def _insert_edges(result, edges) -> None:
+    result.network.apply_changes(
+        result.network.round_index + 1, RoundChanges.inserts(edges)
+    )
+
+
+def _tamper_trace(result, *_args) -> None:
+    """Corrupt the recorded trace: drop the first recorded insertion."""
+    inserts, deletes = result.trace.rounds[0]
+    result.trace.rounds[0] = (inserts[1:], deletes)
+
+
+def _force_inconsistent(result) -> None:
+    result.nodes[0].consistent = False
+
+
+def _drop_insertion_time(result) -> None:
+    edge = sorted(result.network.edges)[0]
+    del result.network._insertion_time[edge]
+
+
+# name -> (spec dict, corrupt(result) function)
+FIXTURES = {
+    "consistent": (
+        {"algorithm": "robust2hop", **_scripted(4, TRIANGLE)},
+        _force_inconsistent,
+    ),
+    "coverage": (
+        {"algorithm": "null", **_scripted(4, TRIANGLE)},
+        _drop_insertion_time,
+    ),
+    "triangle_oracle": (
+        {"algorithm": "triangle", **_scripted(4, TRIANGLE)},
+        lambda result: _delete_edges(result, [(1, 2)]),
+    ),
+    "clique_oracle": (
+        {"algorithm": "clique", **_scripted(4, TRIANGLE)},
+        lambda result: _delete_edges(result, [(1, 2)]),
+    ),
+    "robust2hop_oracle": (
+        {"algorithm": "robust2hop", **_scripted(4, TRIANGLE)},
+        lambda result: _delete_edges(result, [(1, 2)]),
+    ),
+    "robust3hop_oracle": (
+        {"algorithm": "robust3hop", **_scripted(5, [(0, 1), (1, 2), (2, 3)])},
+        lambda result: _delete_edges(result, [(2, 3)]),
+    ),
+    "twohop_oracle": (
+        {"algorithm": "twohop", **_scripted(4, TRIANGLE)},
+        lambda result: _delete_edges(result, [(1, 2)]),
+    ),
+    "cycle_cover": (
+        {"algorithm": "cycles", **_scripted(8, [(0, 1), (1, 2), (2, 3), (0, 3)])},
+        lambda result: _insert_edges(result, [(4, 5), (5, 6), (6, 7), (4, 7)]),
+    ),
+    "membership_oracle": (
+        {"algorithm": "clique", **_scripted(4, TRIANGLE)},
+        lambda result: _delete_edges(result, [(1, 2)]),
+    ),
+    "triangle_recall": (
+        {"algorithm": "triangle", **_scripted(4, TRIANGLE)},
+        lambda result: _delete_edges(result, [(1, 2)]),
+    ),
+    "no_ghost_triangles": (
+        {"algorithm": "triangle", **_scripted(4, TRIANGLE)},
+        lambda result: _delete_edges(result, [(1, 2)]),
+    ),
+    "flicker_ghost": (
+        {"algorithm": "robust2hop", "adversary": "flicker", "n": 9},
+        lambda result: _delete_edges(result, [(0, 1)]),
+    ),
+    "theorem4_visits": (
+        {
+            "algorithm": "null",
+            "adversary": "theorem4",
+            "n": 81,
+            "adversary_params": {"k": 6, "num_components": 2},
+        },
+        _tamper_trace,
+    ),
+    "threepath_visits": (
+        {
+            "algorithm": "null",
+            "adversary": "threepath",
+            "n": 49,
+            "adversary_params": {"num_components": 2},
+        },
+        _tamper_trace,
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def reference_runs():
+    """One finished run per fixture spec, shared across the pass/fail tests."""
+    runs = {}
+    for name, (spec_dict, _) in FIXTURES.items():
+        spec = ExperimentSpec.from_dict(spec_dict)
+        result, _ = run_reference(spec)
+        runs[name] = (spec, result)
+    return runs
+
+
+def test_every_registered_check_has_a_fixture():
+    assert sorted(FIXTURES) == sorted(CHECKS), (
+        "every CHECKS entry needs a passing + corrupted fixture in this module"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(FIXTURES))
+def test_check_passes_on_clean_run(name, reference_runs):
+    spec, result = reference_runs[name]
+    outcome = CHECKS[name].evaluate(result, spec)
+    assert outcome.ok, outcome.describe()
+    assert outcome.metrics, "a check must report at least one metric"
+
+
+@pytest.mark.parametrize("name", sorted(FIXTURES))
+def test_check_fails_structured_on_corrupted_run(name):
+    spec_dict, corrupt = FIXTURES[name]
+    spec = ExperimentSpec.from_dict(spec_dict)
+    result, _ = run_reference(spec)
+    corrupt(result)
+    outcome = CHECKS[name].evaluate(result, spec)
+    assert not outcome.ok, f"{name} did not notice the corruption"
+    failure = outcome.failures[0]
+    assert failure.check == name
+    assert failure.field
+    assert failure.describe().startswith(f"[{name}]")
+
+
+def test_round_hook_collects_structured_failures():
+    """A per-round hook reports (round, node, field) through the session."""
+    spec = ExperimentSpec.from_dict({"algorithm": "triangle", **_scripted(4, TRIANGLE)})
+    check = CHECKS["no_ghost_triangles"]
+    session = CheckSession(check, spec)
+    result, _ = run_reference(spec)
+
+    # Simulate a mid-run validator call on a corrupted network snapshot.
+    _delete_edges(result, [(1, 2)])
+    hook = session.validator()
+    assert hook is not None
+    hook(7, result.network, result.nodes)
+    outcome = session.finish(result)
+    assert not outcome.ok
+    assert outcome.metrics["no_ghost_triangles_violations"] >= 1.0
+    round_failures = [f for f in outcome.failures if f.round_index == 7]
+    assert round_failures and round_failures[0].node is not None
