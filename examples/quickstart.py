@@ -9,6 +9,11 @@ every node, and then:
 2. queries a few nodes for the triangles they belong to and cross-checks the
    answers against a centralized view of the final graph.
 
+The centralized view is the *incremental* ground-truth oracle: observing
+every round costs it O(changes), not O(|E|), and its history lives in a
+delta log instead of one snapshot per round -- the memory line below shows
+the stored-entry count staying proportional to the churn.
+
 Run with::
 
     python examples/quickstart.py
@@ -52,6 +57,10 @@ def main() -> None:
           f"{metrics.max_running_amortized_complexity():.3f}")
     print(f"  bandwidth: max message = {result.bandwidth.max_observed_bits} bits, "
           f"budget = {result.bandwidth.budget_bits(n)} bits")
+    memory = oracle.memory_profile()
+    print(f"  oracle history: {memory['num_deltas']} round deltas + "
+          f"{memory['num_keyframes']} keyframes "
+          f"({memory['snapshot_edge_entries']} stored edge entries)")
 
     # Query a few nodes about the triangles they belong to.
     print("\ntriangle membership queries (node vs. centralized ground truth):")

@@ -23,9 +23,10 @@ consistent and right).
 
 from __future__ import annotations
 
-from typing import List, Tuple
+import random
+from typing import List, Optional, Tuple
 
-from ..simulator.events import RoundChanges
+from ..simulator.events import EdgeInsert, RoundChanges, canonical_edge
 from .base import ScheduleAdversary
 
 __all__ = ["FlickerTriangleAdversary", "flicker_schedule"]
@@ -93,6 +94,24 @@ def flicker_schedule(
     return schedule
 
 
+def _background_inserts(count: int, n: Optional[int], gadget, seed: int):
+    """Random static edges among the non-gadget nodes (round-1 insertions)."""
+    if n is None:
+        raise ValueError("background_edges requires the network size n")
+    pool = [x for x in range(n) if x not in gadget]
+    max_edges = len(pool) * (len(pool) - 1) // 2
+    if count > max_edges:
+        raise ValueError(
+            f"cannot place {count} background edges among {len(pool)} non-gadget nodes"
+        )
+    rng = random.Random(seed)
+    edges = set()
+    while len(edges) < count:
+        a, b = rng.sample(pool, 2)
+        edges.add(canonical_edge(a, b))
+    return [EdgeInsert(*edge) for edge in sorted(edges)]
+
+
 class FlickerTriangleAdversary(ScheduleAdversary):
     """Replays the Section 1.3 flickering schedule.
 
@@ -102,6 +121,14 @@ class FlickerTriangleAdversary(ScheduleAdversary):
             backlogs at ``u`` and ``w`` (see :func:`flicker_schedule`).
         settle_rounds: quiet rounds appended at the end so all queues drain and
             every node reports consistency before the final queries.
+        background_edges: static random edges among the non-gadget nodes,
+            inserted with round 1 and never touched again.  This embeds the
+            tiny flickering gadget in a *large* static graph -- the
+            low-activity big-|E| regime that activity-proportional machinery
+            (the sparse engine, the incremental oracle) is built for.
+            Requires ``n``.
+        n: total node count, only needed to draw background edges from.
+        background_seed: RNG seed for the background edges.
     """
 
     def __init__(
@@ -112,9 +139,17 @@ class FlickerTriangleAdversary(ScheduleAdversary):
         filler_u: Tuple[int, ...] = (3, 4),
         filler_w: Tuple[int, ...] = (5, 6, 7, 8),
         settle_rounds: int = 12,
+        background_edges: int = 0,
+        n: Optional[int] = None,
+        background_seed: int = 0,
     ) -> None:
         self.v, self.u, self.w = v, u, w
         schedule = flicker_schedule(v, u, w, list(filler_u), list(filler_w))
+        if background_edges:
+            gadget = {v, u, w, *filler_u, *filler_w}
+            schedule[0].extend(
+                _background_inserts(background_edges, n, gadget, background_seed)
+            )
         schedule.extend(RoundChanges.empty() for _ in range(settle_rounds))
         super().__init__(iter(schedule))
         self.num_scheduled_rounds = len(schedule)

@@ -170,9 +170,12 @@ class CampaignRunner:
     Args:
         campaign: the declarative sweep description.
         store: result store (or a directory path to create one in).
-        jobs: number of worker processes; ``1`` runs cells inline, which is
-            also the fallback on platforms without ``fork``.
-        start_method: multiprocessing start method for the workers.  The
+        jobs: number of worker processes; ``1`` runs cells inline.
+        start_method: multiprocessing start method for the workers.  When the
+            requested method is unavailable on this platform the runner falls
+            back to ``spawn`` (the worker target and its arguments are
+            spawn-safe: a module-level function fed plain spec dicts), and
+            only runs inline when no start method is available at all.  The
             workers are *not* daemonic, so cells using the sharded engine can
             spawn their own shard processes.
     """
@@ -191,6 +194,20 @@ class CampaignRunner:
         self.store = store if isinstance(store, ResultStore) else ResultStore(store)
         self.jobs = jobs
         self.start_method = start_method
+
+    def resolved_start_method(self) -> Optional[str]:
+        """The start method the worker pool will actually use.
+
+        The requested method when the platform supports it, else ``spawn``
+        (available everywhere Python ships multiprocessing workers), else
+        ``None`` -- the signal to run cells inline.
+        """
+        available = mp.get_all_start_methods()
+        if self.start_method in available:
+            return self.start_method
+        if "spawn" in available:
+            return "spawn"
+        return None
 
     def run(
         self,
@@ -214,11 +231,8 @@ class CampaignRunner:
         if not pending:
             return report
 
-        inline = (
-            self.jobs == 1
-            or len(pending) == 1
-            or self.start_method not in mp.get_all_start_methods()
-        )
+        start_method = self.resolved_start_method()
+        inline = self.jobs == 1 or len(pending) == 1 or start_method is None
         if inline:
             for spec in pending:
                 record, trace_dict = execute_cell(spec)
@@ -229,7 +243,7 @@ class CampaignRunner:
             return report
 
         shards = shard_nodes(len(pending), self.jobs)
-        ctx = mp.get_context(self.start_method)
+        ctx = mp.get_context(start_method)
         conns, procs = [], []
         for shard in shards:
             parent_conn, child_conn = ctx.Pipe()

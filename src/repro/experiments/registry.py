@@ -154,7 +154,15 @@ def _build_threepath(n, rounds, seed, params):
 
 
 def _build_flicker(n, rounds, seed, params):
-    adversary = FlickerTriangleAdversary(**params)
+    if "n" in params:
+        raise ValueError(
+            "the flicker adversary takes its node count from the spec's n; "
+            "remove 'n' from adversary_params"
+        )
+    # The background edges are the cell's only randomness: wire the spec seed
+    # in (overridable) so multi-seed sweeps realize distinct graphs.
+    params.setdefault("background_seed", seed)
+    adversary = FlickerTriangleAdversary(n=n, **params)
     needed = 1 + max(
         (adversary.v, adversary.u, adversary.w)
         + tuple(params.get("filler_u", (3, 4)))

@@ -157,6 +157,11 @@ class ResultStore:
         Returns:
             ``(headers, rows)`` ready for
             :func:`~repro.analysis.tables.format_table`, sorted by group key.
+            Next to each metric's mean / p95 a ``n <metric>`` column reports
+            how many of the group's cells actually carried the metric:
+            records with a missing or ``None`` value are excluded from the
+            statistics, and hiding that would let the ``cells`` column
+            overstate the coverage of a heterogeneous group.
         """
         if records is None:
             records = [r for r in self.latest().values() if r.get("status") == "ok"]
@@ -166,7 +171,7 @@ class ResultStore:
             groups.setdefault(key, []).append(record)
         headers = list(group_by) + ["cells"]
         for metric in metrics:
-            headers += [f"mean {metric}", f"p95 {metric}"]
+            headers += [f"mean {metric}", f"p95 {metric}", f"n {metric}"]
         rows: List[List[Any]] = []
         def sort_key(key: Tuple) -> Tuple:
             # numbers sort numerically, everything else lexically, mixed
@@ -188,9 +193,9 @@ class ResultStore:
                     if v is not None
                 ]
                 if values:
-                    row += [sum(values) / len(values), percentile(values, 95)]
+                    row += [sum(values) / len(values), percentile(values, 95), len(values)]
                 else:
-                    row += ["-", "-"]
+                    row += ["-", "-", 0]
             rows.append(row)
         return headers, rows
 

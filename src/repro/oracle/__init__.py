@@ -1,50 +1,73 @@
 """Centralized ground-truth oracle for checking the distributed algorithms.
 
-* :class:`GroundTruthOracle` -- per-round snapshots of the true graph plus
-  reference implementations of every set and subgraph family the paper's data
-  structures are supposed to know.
+* :class:`GroundTruthOracle` -- the incremental, delta-based oracle (default):
+  per-round observations stored as a delta log with periodic keyframes
+  (:mod:`repro.oracle.deltas`), a live incrementally-maintained adjacency,
+  and dirty-region-invalidated query caching, so per-round checks pay per
+  *change* instead of per graph.
+* :class:`NaiveGroundTruthOracle` -- the original from-scratch reference
+  implementation (full snapshot per round, no caching), kept as the
+  differential baseline.
 * :mod:`repro.oracle.robust_sets` -- pure functions computing ``E^{v,r}_i``,
   ``R^{v,2}_i``, ``T^{v,2}_i`` and ``R^{v,3}_i`` from an edge set and true
-  insertion times.
+  insertion times (plus ``*_adj`` variants over a prebuilt adjacency).
 * :mod:`repro.oracle.subgraphs` -- centralized triangle / clique / cycle
   enumeration (networkx-based).
 """
 
-from .ground_truth import GroundTruthOracle, RoundSnapshot
+from .deltas import DeltaLog, RoundDelta
+from .ground_truth import GroundTruthOracle, NaiveGroundTruthOracle, RoundSnapshot
 from .robust_sets import (
     adjacency,
     khop_edges,
+    khop_edges_adj,
     robust_three_hop,
+    robust_three_hop_adj,
     robust_two_hop,
+    robust_two_hop_adj,
     triangle_pattern_set,
+    triangle_pattern_set_adj,
 )
 from .subgraphs import (
     all_triangles,
     build_graph,
     cliques_containing,
+    cliques_containing_adj,
     cycles_containing,
     cycles_of_length,
     is_clique,
+    is_clique_adj,
     is_cycle_ordering,
     set_is_cycle,
     triangles_containing,
+    triangles_containing_adj,
 )
 
 __all__ = [
+    "DeltaLog",
     "GroundTruthOracle",
+    "NaiveGroundTruthOracle",
+    "RoundDelta",
     "RoundSnapshot",
     "adjacency",
     "all_triangles",
     "build_graph",
     "cliques_containing",
+    "cliques_containing_adj",
     "cycles_containing",
     "cycles_of_length",
     "is_clique",
+    "is_clique_adj",
     "is_cycle_ordering",
     "khop_edges",
+    "khop_edges_adj",
     "robust_three_hop",
+    "robust_three_hop_adj",
     "robust_two_hop",
+    "robust_two_hop_adj",
     "set_is_cycle",
     "triangle_pattern_set",
+    "triangle_pattern_set_adj",
     "triangles_containing",
+    "triangles_containing_adj",
 ]

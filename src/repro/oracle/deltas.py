@@ -1,0 +1,164 @@
+"""Delta-log storage of an observed graph history.
+
+The naive oracle stores a full :class:`~repro.oracle.ground_truth.RoundSnapshot`
+-- the complete edge set and insertion-time map -- for every observed round,
+which is O(rounds x |E|) memory and makes long per-round-checked runs
+infeasible.  This module stores the same history as
+
+* a **delta log**: one :class:`RoundDelta` per observed round that actually
+  changed the graph (edges inserted with their true insertion times, edges
+  deleted), and
+* periodic **keyframes**: a full copy of the edge set and time map taken every
+  ``keyframe_interval`` deltas, bounding reconstruction cost.
+
+Memory is O(total changes + |E| x rounds / keyframe_interval) instead of
+O(rounds x |E|), and reconstructing any past round is a binary search for the
+nearest keyframe at or before it plus a replay of at most
+``keyframe_interval`` deltas -- replacing the naive oracle's linear scan over
+all observed rounds.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from ..simulator.events import Edge
+
+__all__ = ["RoundDelta", "DeltaLog"]
+
+
+@dataclass(frozen=True)
+class RoundDelta:
+    """The graph changes of one observed round.
+
+    Attributes:
+        round_index: the round whose end-state the delta leads to.
+        inserted: ``(edge, insertion_time)`` pairs; an edge that was deleted
+            and re-inserted since the previous observation appears here with
+            its *new* time (replay order is deletions first, then insertions).
+        deleted: edges removed since the previous observation.
+    """
+
+    round_index: int
+    inserted: Tuple[Tuple[Edge, int], ...]
+    deleted: Tuple[Edge, ...]
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.inserted and not self.deleted
+
+    @property
+    def num_events(self) -> int:
+        return len(self.inserted) + len(self.deleted)
+
+    def touched_nodes(self) -> Set[int]:
+        """All endpoints of the edges this delta changes."""
+        nodes: Set[int] = set()
+        for edge, _ in self.inserted:
+            nodes.update(edge)
+        for edge in self.deleted:
+            nodes.update(edge)
+        return nodes
+
+
+class DeltaLog:
+    """Append-only history of round deltas with periodic keyframes.
+
+    The log always carries a keyframe for round 0 (the empty graph the model
+    starts from), so every non-negative round can be reconstructed.
+    """
+
+    def __init__(self, keyframe_interval: int = 64) -> None:
+        if keyframe_interval < 1:
+            raise ValueError("keyframe_interval must be >= 1")
+        self.keyframe_interval = keyframe_interval
+        self._deltas: List[RoundDelta] = []
+        self._delta_rounds: List[int] = []  # parallel to _deltas, for bisect
+        # round -> (edges, times); parallel sorted round list for bisect.
+        self._keyframes: Dict[int, Tuple[Set[Edge], Dict[Edge, int]]] = {
+            0: (set(), {})
+        }
+        self._keyframe_rounds: List[int] = [0]
+        self._deltas_since_keyframe = 0
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def append(
+        self,
+        delta: RoundDelta,
+        live_edges: Set[Edge],
+        live_times: Dict[Edge, int],
+    ) -> None:
+        """Record one delta; ``live_*`` is the post-delta state for keyframing.
+
+        Rounds must arrive in strictly increasing order.  Every
+        ``keyframe_interval``-th delta triggers a keyframe copy of the live
+        state, so replay never has to walk more than that many deltas.
+        """
+        if self._delta_rounds and delta.round_index <= self._delta_rounds[-1]:
+            raise ValueError(
+                f"delta rounds must be strictly increasing: got {delta.round_index} "
+                f"after {self._delta_rounds[-1]}"
+            )
+        self._deltas.append(delta)
+        self._delta_rounds.append(delta.round_index)
+        self._deltas_since_keyframe += 1
+        if self._deltas_since_keyframe >= self.keyframe_interval:
+            self._keyframes[delta.round_index] = (set(live_edges), dict(live_times))
+            self._keyframe_rounds.append(delta.round_index)
+            self._deltas_since_keyframe = 0
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    @property
+    def num_deltas(self) -> int:
+        return len(self._deltas)
+
+    @property
+    def num_keyframes(self) -> int:
+        return len(self._keyframe_rounds)
+
+    @property
+    def last_round(self) -> int:
+        """The most recent round with a recorded delta (0 if none)."""
+        return self._delta_rounds[-1] if self._delta_rounds else 0
+
+    def reconstruct(self, round_index: int) -> Tuple[Set[Edge], Dict[Edge, int]]:
+        """The ``(edges, times)`` state at the end of ``round_index``.
+
+        Rounds without a recorded delta resolve to the most recent recorded
+        state at or before them (quiet rounds do not change the graph).
+
+        Raises:
+            KeyError: for rounds before the start of history (< 0).
+        """
+        if round_index < 0:
+            raise KeyError(f"no snapshot at or before round {round_index}")
+        kf_pos = bisect_right(self._keyframe_rounds, round_index) - 1
+        kf_round = self._keyframe_rounds[kf_pos]
+        edges, times = self._keyframes[kf_round]
+        edges, times = set(edges), dict(times)
+        lo = bisect_right(self._delta_rounds, kf_round)
+        hi = bisect_right(self._delta_rounds, round_index)
+        for delta in self._deltas[lo:hi]:
+            for edge in delta.deleted:
+                edges.discard(edge)
+                times.pop(edge, None)
+            for edge, t in delta.inserted:
+                edges.add(edge)
+                times[edge] = t
+        return edges, times
+
+    def memory_entries(self) -> int:
+        """Stored edge entries: keyframe edges plus delta events.
+
+        The naive oracle's equivalent figure is the sum of snapshot sizes over
+        every observed round; the benchmark compares the two.
+        """
+        keyframe_entries = sum(len(edges) for edges, _ in self._keyframes.values())
+        delta_entries = sum(delta.num_events for delta in self._deltas)
+        return keyframe_entries + delta_entries

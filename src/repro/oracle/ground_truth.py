@@ -1,29 +1,49 @@
 """A centralized observer of the evolving graph, used as ground truth.
 
-:class:`GroundTruthOracle` watches a :class:`~repro.simulator.network.DynamicNetwork`
-round by round (via :meth:`observe` or as a
-:class:`~repro.simulator.runner.RoundValidator`) and records, for every
-observed round, the edge set and the true insertion times of those edges.
-From that history it can answer, for any observed round:
+Two oracle implementations share one query surface:
+
+* :class:`GroundTruthOracle` -- the **incremental** oracle (the default
+  everywhere).  It watches a
+  :class:`~repro.simulator.network.DynamicNetwork` round by round and pays
+  per *change*, mirroring the algorithms it checks: observations are stored
+  as a delta log with periodic keyframes
+  (:class:`~repro.oracle.deltas.DeltaLog`, memory O(changes) instead of
+  O(rounds x |E|)); a live adjacency is maintained under edge updates; and
+  query answers for the current round are cached, with an edge change only
+  invalidating the cached answers of nodes within r hops of its endpoints
+  (the *dirty region*).  Quiet rounds -- no changes since the last
+  observation -- cost O(1) to observe.
+
+* :class:`NaiveGroundTruthOracle` -- the original deliberately centralized
+  and slow implementation: a full edge-set + insertion-time copy per observed
+  round and a from-scratch reference computation per query.  It is kept as
+  the reference the incremental oracle is differentially tested (and
+  benchmarked, ``benchmarks/bench_oracle_scaling.py``) against.
+
+Both answer, for any observed round:
 
 * which edges / subgraphs existed (``G_i`` and ``G_{i-1}`` checks),
 * the full r-hop neighborhood ``E^{v,r}_i`` of any node,
 * the robust sets ``R^{v,2}_i``, ``T^{v,2}_i``, ``R^{v,3}_i``.
-
-It is deliberately *centralized and slow* -- it exists to check the
-distributed algorithms, not to compete with them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set
 
 from ..simulator.events import Edge
 from ..simulator.network import DynamicNetwork
 from . import robust_sets, subgraphs
+from .deltas import DeltaLog, RoundDelta
 
-__all__ = ["RoundSnapshot", "GroundTruthOracle"]
+__all__ = ["RoundSnapshot", "GroundTruthOracle", "NaiveGroundTruthOracle"]
+
+#: Maximum tracked dirty-region radius.  Covers every shipped query (the
+#: deepest is ``R^{v,3}``, which depends on edges within 2 hops, and
+#: ``E^{v,r}`` up to radius 4); rarer deeper queries fall back to a global
+#: invalidation stamp.
+R_MAX = 3
 
 
 @dataclass(frozen=True)
@@ -36,7 +56,354 @@ class RoundSnapshot:
 
 
 class GroundTruthOracle:
-    """Records per-round snapshots of the true graph and answers reference queries."""
+    """Incremental, delta-based ground-truth oracle.
+
+    Observation cost is proportional to the number of changes since the last
+    observation (O(1) when nothing changed); queries for the current round
+    are served from a cache invalidated only inside the dirty region of the
+    changes; queries for past rounds replay the delta log from the nearest
+    keyframe.
+
+    Args:
+        n: number of nodes of the observed network.
+        keyframe_interval: a full state copy is stored every this many
+            non-empty deltas, bounding both replay cost and memory
+            (O(changes + |E| x deltas / keyframe_interval)).
+    """
+
+    def __init__(self, n: int, keyframe_interval: int = 64) -> None:
+        self.n = n
+        self._log = DeltaLog(keyframe_interval)
+        self._live_edges: Set[Edge] = set()
+        self._live_times: Dict[Edge, int] = {}
+        self._live_adj: Dict[int, Set[int]] = {}
+        self._latest_round = 0
+        #: ``network.total_changes`` at the last observation (continuity check).
+        self._observed_changes = 0
+        #: Bumped once per non-empty delta; cache entries remember the version
+        #: they were computed at.
+        self._version = 0
+        self._global_dirty_version = 0
+        #: node -> last version with a change within distance d, per d <= R_MAX.
+        self._dirty: Dict[int, List[int]] = {}
+        #: (kind, node, ...) -> (answer, version computed at).
+        self._cache: Dict[tuple, tuple] = {}
+        #: node -> distance to the most recent non-empty delta's endpoints.
+        self._last_ball: Dict[int, int] = {}
+        self._reconstructed: Optional[RoundSnapshot] = None
+
+    @classmethod
+    def from_network(cls, network: DynamicNetwork, **kwargs) -> "GroundTruthOracle":
+        """An oracle primed with the network's current state (one observation)."""
+        oracle = cls(network.n, **kwargs)
+        oracle.observe(network)
+        return oracle
+
+    # ------------------------------------------------------------------ #
+    # Observation
+    # ------------------------------------------------------------------ #
+    def observe(self, network: DynamicNetwork) -> RoundDelta:
+        """Record the network's current state; returns the applied delta.
+
+        The cost is proportional to the changes since the previous
+        observation: when the network reports no new changes the call is
+        O(1), and when exactly one round's batch happened in between (the
+        per-round validator case) the delta is read straight off
+        :attr:`~repro.simulator.network.DynamicNetwork.last_changes`.  Only
+        when observations skipped changed rounds does the oracle fall back to
+        a full O(|E|) diff against its live state.
+        """
+        round_index = network.round_index
+        if round_index < self._latest_round:
+            raise ValueError(
+                f"cannot observe round {round_index} after round {self._latest_round}"
+            )
+        delta = self._delta_from(network, round_index)
+        if not delta.is_empty and round_index == self._log.last_round:
+            raise ValueError(f"round {round_index} was already observed with changes")
+        self._apply_delta(delta)
+        self._observed_changes = network.total_changes
+        self._latest_round = round_index
+        return delta
+
+    def _delta_from(self, network: DynamicNetwork, round_index: int) -> RoundDelta:
+        changes_since = network.total_changes - self._observed_changes
+        if changes_since == 0:
+            return RoundDelta(round_index, (), ())
+        last = network.last_changes
+        if (
+            last is not None
+            and network.last_changes_round == round_index
+            and changes_since == len(last)
+        ):
+            return RoundDelta(
+                round_index,
+                tuple((edge, round_index) for edge in last.insertions),
+                tuple(last.deletions),
+            )
+        # Observations skipped at least one changed round: diff the full state.
+        new_edges = network.edges
+        new_times = network.insertion_times()
+        inserted = tuple(
+            (edge, t)
+            for edge, t in sorted(new_times.items())
+            if self._live_times.get(edge) != t
+        )
+        deleted = tuple(sorted(e for e in self._live_edges if e not in new_edges))
+        return RoundDelta(round_index, inserted, deleted)
+
+    def _apply_delta(self, delta: RoundDelta) -> None:
+        if delta.is_empty:
+            self._last_ball = {}
+            return
+        sources = delta.touched_nodes()
+        ball = self._ball_distances(sources)
+        adj = self._live_adj
+        for edge in delta.deleted:
+            a, b = edge
+            self._live_edges.discard(edge)
+            self._live_times.pop(edge, None)
+            adj.get(a, set()).discard(b)
+            adj.get(b, set()).discard(a)
+        for edge, t in delta.inserted:
+            a, b = edge
+            self._live_edges.add(edge)
+            self._live_times[edge] = t
+            adj.setdefault(a, set()).add(b)
+            adj.setdefault(b, set()).add(a)
+        # The dirty region is the union of the pre- and post-change balls: a
+        # cached answer is affected whether the change created or destroyed
+        # reachability.
+        for node, dist in self._ball_distances(sources).items():
+            prev = ball.get(node)
+            if prev is None or dist < prev:
+                ball[node] = dist
+        self._version += 1
+        self._global_dirty_version = self._version
+        for node, dist in ball.items():
+            stamps = self._dirty.get(node)
+            if stamps is None:
+                stamps = self._dirty[node] = [0] * (R_MAX + 1)
+            for depth in range(dist, R_MAX + 1):
+                stamps[depth] = self._version
+        self._last_ball = ball
+        self._reconstructed = None
+        self._log.append(delta, self._live_edges, self._live_times)
+
+    def _ball_distances(self, sources: Iterable[int]) -> Dict[int, int]:
+        """Multi-source BFS distances up to ``R_MAX`` over the live adjacency."""
+        dist = {node: 0 for node in sources}
+        frontier = list(dist)
+        adj = self._live_adj
+        for d in range(1, R_MAX + 1):
+            nxt = []
+            for node in frontier:
+                for nb in adj.get(node, ()):
+                    if nb not in dist:
+                        dist[nb] = d
+                        nxt.append(nb)
+            frontier = nxt
+        return dist
+
+    def validator(self):
+        """A :class:`~repro.simulator.runner.RoundValidator` that records snapshots."""
+
+        def _record(round_index: int, network: DynamicNetwork, nodes) -> None:
+            self.observe(network)
+
+        return _record
+
+    def last_changed_ball(self, depth: int) -> Set[int]:
+        """Nodes within ``depth`` hops of the most recent observed changes.
+
+        Empty after a quiet observation.  Per-round checks use this (together
+        with the engine's active set) to only re-examine nodes whose ground
+        truth could have changed.
+        """
+        return {node for node, d in self._last_ball.items() if d <= depth}
+
+    # ------------------------------------------------------------------ #
+    # Snapshot access
+    # ------------------------------------------------------------------ #
+    @property
+    def latest_round(self) -> int:
+        return self._latest_round
+
+    def snapshot(self, round_index: Optional[int] = None) -> RoundSnapshot:
+        """The snapshot of ``round_index`` (default: the latest observed round).
+
+        If the exact round was not observed (e.g. a quiet round that nobody
+        recorded), the most recent observed state at or before it is returned
+        -- quiet rounds do not change the graph.  Past rounds are
+        reconstructed by replaying the delta log from the nearest keyframe
+        (the most recent reconstruction is cached for repeated queries).
+        """
+        # Negative rounds fall into the reconstruct branch (latest_round is
+        # never negative), which raises the KeyError.
+        if round_index is None or round_index >= self._latest_round:
+            return RoundSnapshot(
+                self._latest_round, frozenset(self._live_edges), dict(self._live_times)
+            )
+        cached = self._reconstructed
+        if cached is not None and cached.round_index == round_index:
+            return cached
+        edges, times = self._log.reconstruct(round_index)
+        snap = RoundSnapshot(round_index, frozenset(edges), times)
+        self._reconstructed = snap
+        return snap
+
+    def edges_at(self, round_index: Optional[int] = None) -> FrozenSet[Edge]:
+        return self.snapshot(round_index).edges
+
+    def times_at(self, round_index: Optional[int] = None) -> Mapping[Edge, int]:
+        return self.snapshot(round_index).insertion_times
+
+    def memory_profile(self) -> Dict[str, int]:
+        """Stored-entry accounting (compared against the naive oracle's)."""
+        return {
+            "snapshot_edge_entries": self._log.memory_entries(),
+            "num_keyframes": self._log.num_keyframes,
+            "num_deltas": self._log.num_deltas,
+            "live_edges": len(self._live_edges),
+            "cache_entries": len(self._cache),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Cache plumbing
+    # ------------------------------------------------------------------ #
+    def _is_live(self, round_index: Optional[int]) -> bool:
+        return round_index is None or round_index >= self._latest_round
+
+    def _fresh(self, node: int, depth: int, version: int) -> bool:
+        if depth > R_MAX:
+            return self._global_dirty_version <= version
+        stamps = self._dirty.get(node)
+        return stamps is None or stamps[depth] <= version
+
+    def _cached(self, key: tuple, node: int, depth: int, compute):
+        entry = self._cache.get(key)
+        if entry is not None and self._fresh(node, depth, entry[1]):
+            return entry[0]
+        value = compute()
+        self._cache[key] = (value, self._version)
+        return value
+
+    # ------------------------------------------------------------------ #
+    # Reference sets
+    # ------------------------------------------------------------------ #
+    def khop_edges(self, v: int, radius: int, round_index: Optional[int] = None) -> FrozenSet[Edge]:
+        if self._is_live(round_index):
+            return self._cached(
+                ("khop", v, radius),
+                v,
+                max(0, radius - 1),
+                lambda: robust_sets.khop_edges_adj(self._live_adj, v, radius),
+            )
+        snap = self.snapshot(round_index)
+        return robust_sets.khop_edges(snap.edges, v, radius)
+
+    def robust_two_hop(self, v: int, round_index: Optional[int] = None) -> FrozenSet[Edge]:
+        if self._is_live(round_index):
+            return self._cached(
+                ("r2", v),
+                v,
+                1,
+                lambda: robust_sets.robust_two_hop_adj(self._live_adj, self._live_times, v),
+            )
+        snap = self.snapshot(round_index)
+        return robust_sets.robust_two_hop(snap.edges, snap.insertion_times, v)
+
+    def triangle_pattern_set(self, v: int, round_index: Optional[int] = None) -> FrozenSet[Edge]:
+        if self._is_live(round_index):
+            return self._cached(
+                ("t2", v),
+                v,
+                1,
+                lambda: robust_sets.triangle_pattern_set_adj(
+                    self._live_adj, self._live_times, v
+                ),
+            )
+        snap = self.snapshot(round_index)
+        return robust_sets.triangle_pattern_set(snap.edges, snap.insertion_times, v)
+
+    def robust_three_hop(self, v: int, round_index: Optional[int] = None) -> FrozenSet[Edge]:
+        if self._is_live(round_index):
+            return self._cached(
+                ("r3", v),
+                v,
+                2,
+                lambda: robust_sets.robust_three_hop_adj(
+                    self._live_adj, self._live_times, v
+                ),
+            )
+        snap = self.snapshot(round_index)
+        return robust_sets.robust_three_hop(snap.edges, snap.insertion_times, v)
+
+    # ------------------------------------------------------------------ #
+    # Reference subgraphs
+    # ------------------------------------------------------------------ #
+    def triangles_containing(self, v: int, round_index: Optional[int] = None) -> Set[FrozenSet[int]]:
+        if self._is_live(round_index):
+            return self._cached(
+                ("tri", v),
+                v,
+                1,
+                lambda: subgraphs.triangles_containing_adj(self._live_adj, v),
+            )
+        return subgraphs.triangles_containing(self.edges_at(round_index), v)
+
+    def cliques_containing(self, v: int, k: int, round_index: Optional[int] = None) -> Set[FrozenSet[int]]:
+        if self._is_live(round_index):
+            return self._cached(
+                ("clique", v, k),
+                v,
+                1,
+                lambda: subgraphs.cliques_containing_adj(self._live_adj, v, k),
+            )
+        return subgraphs.cliques_containing(self.edges_at(round_index), v, k)
+
+    def cycles_of_length(self, k: int, round_index: Optional[int] = None) -> Set[FrozenSet[int]]:
+        if self._is_live(round_index):
+            # A global query: any change anywhere invalidates it.
+            return self._cached(
+                ("cycles", k),
+                -1,
+                R_MAX + 1,
+                lambda: subgraphs.cycles_of_length(self._live_edges, k),
+            )
+        return subgraphs.cycles_of_length(self.edges_at(round_index), k)
+
+    def is_triangle(self, nodes: Iterable[int], round_index: Optional[int] = None) -> bool:
+        node_set = set(nodes)
+        if len(node_set) != 3:
+            return False
+        if self._is_live(round_index):
+            return subgraphs.is_clique_adj(self._live_adj, node_set)
+        return subgraphs.is_clique(self.edges_at(round_index), node_set)
+
+    def is_clique(self, nodes: Iterable[int], round_index: Optional[int] = None) -> bool:
+        if self._is_live(round_index):
+            return subgraphs.is_clique_adj(self._live_adj, nodes)
+        return subgraphs.is_clique(self.edges_at(round_index), nodes)
+
+    def set_is_cycle(self, nodes: Iterable[int], round_index: Optional[int] = None) -> bool:
+        edges = self._live_edges if self._is_live(round_index) else self.edges_at(round_index)
+        return subgraphs.set_is_cycle(edges, nodes)
+
+    def is_cycle_ordering(self, ordering, round_index: Optional[int] = None) -> bool:
+        edges = self._live_edges if self._is_live(round_index) else self.edges_at(round_index)
+        return subgraphs.is_cycle_ordering(edges, ordering)
+
+
+class NaiveGroundTruthOracle:
+    """The from-scratch reference oracle: full snapshots, no caching.
+
+    Records a complete :class:`RoundSnapshot` per observed round (O(rounds x
+    |E|) memory) and recomputes every query from scratch.  Deliberately
+    simple; the incremental :class:`GroundTruthOracle` is differentially
+    tested against it, and ``benchmarks/bench_oracle_scaling.py`` measures
+    the gap between the two.
+    """
 
     def __init__(self, n: int) -> None:
         self.n = n
@@ -44,6 +411,12 @@ class GroundTruthOracle:
         # Round 0: the empty graph the model starts from.
         self._snapshots[0] = RoundSnapshot(0, frozenset(), {})
         self._latest_round = 0
+
+    @classmethod
+    def from_network(cls, network: DynamicNetwork) -> "NaiveGroundTruthOracle":
+        oracle = cls(network.n)
+        oracle.observe(network)
+        return oracle
 
     # ------------------------------------------------------------------ #
     # Observation
@@ -77,9 +450,9 @@ class GroundTruthOracle:
     def snapshot(self, round_index: Optional[int] = None) -> RoundSnapshot:
         """The snapshot of ``round_index`` (default: the latest observed round).
 
-        If the exact round was not observed (e.g. a quiet round that nobody
-        recorded), the most recent observed snapshot at or before it is
-        returned -- quiet rounds do not change the graph.
+        If the exact round was not observed, the most recent observed
+        snapshot at or before it is returned (a linear scan -- this is the
+        naive implementation).
         """
         if round_index is None:
             round_index = self._latest_round
@@ -95,6 +468,15 @@ class GroundTruthOracle:
 
     def times_at(self, round_index: Optional[int] = None) -> Mapping[Edge, int]:
         return self.snapshot(round_index).insertion_times
+
+    def memory_profile(self) -> Dict[str, int]:
+        """Stored-entry accounting (mirrors the incremental oracle's)."""
+        return {
+            "snapshot_edge_entries": sum(
+                len(snap.edges) for snap in self._snapshots.values()
+            ),
+            "num_snapshots": len(self._snapshots),
+        }
 
     # ------------------------------------------------------------------ #
     # Reference sets

@@ -17,6 +17,14 @@ They are the ground truth against which the test-suite and the coverage
 benchmark (E11) compare the distributed implementations.  All functions take
 the edge set and the insertion-time map explicitly so they can be evaluated
 for any past round.
+
+The ``*_adj`` variants compute the same sets from a prebuilt adjacency map
+instead of rebuilding one from the full edge set per call, so their cost is
+proportional to the queried node's neighborhood rather than to |E|.  They are
+what the incremental :class:`~repro.oracle.ground_truth.GroundTruthOracle`
+serves cache misses from; the edge-set functions above them stay as the
+deliberately simple from-scratch reference the incremental oracle is
+differentially tested against.
 """
 
 from __future__ import annotations
@@ -28,9 +36,13 @@ from ..simulator.events import Edge, canonical_edge
 __all__ = [
     "adjacency",
     "khop_edges",
+    "khop_edges_adj",
     "robust_two_hop",
+    "robust_two_hop_adj",
     "triangle_pattern_set",
+    "triangle_pattern_set_adj",
     "robust_three_hop",
+    "robust_three_hop_adj",
 ]
 
 
@@ -151,6 +163,96 @@ def robust_three_hop(
             e_uw = canonical_edge(u, w)
             t_uw = times[e_uw]
             for x in adj.get(w, ()):  # third hop
+                if x in (v, u, w):
+                    continue
+                e_wx = canonical_edge(w, x)
+                t_wx = times[e_wx]
+                if t_wx >= t_uw and t_wx >= t_vu:
+                    robust.add(e_wx)
+    return frozenset(robust)
+
+
+# --------------------------------------------------------------------- #
+# Adjacency-based variants (activity-proportional query cost)
+# --------------------------------------------------------------------- #
+def khop_edges_adj(adj: Mapping[int, Set[int]], v: int, radius: int) -> FrozenSet[Edge]:
+    """``E^{v,r}_i`` from a prebuilt adjacency; equals :func:`khop_edges`.
+
+    An edge belongs to the r-hop neighborhood iff one of its endpoints is
+    within distance ``r - 1`` of ``v``, so collecting the incident edges of
+    every node of the BFS ball of depth ``r - 1`` yields exactly the
+    reference set while only touching the ball.
+    """
+    if radius < 1:
+        return frozenset()  # matches the reference: no node is within r - 1 < 0
+    dist: Dict[int, int] = {v: 0}
+    frontier = [v]
+    for d in range(1, radius):
+        nxt = []
+        for node in frontier:
+            for nb in adj.get(node, ()):
+                if nb not in dist:
+                    dist[nb] = d
+                    nxt.append(nb)
+        frontier = nxt
+    return frozenset(
+        canonical_edge(u, nb) for u in dist for nb in adj.get(u, ())
+    )
+
+
+def robust_two_hop_adj(
+    adj: Mapping[int, Set[int]], times: Mapping[Edge, int], v: int
+) -> FrozenSet[Edge]:
+    """``R^{v,2}_i`` from a prebuilt adjacency; equals :func:`robust_two_hop`."""
+    neighbors = adj.get(v, set())
+    robust: Set[Edge] = {canonical_edge(v, u) for u in neighbors}
+    for u in neighbors:
+        t_vu = times[canonical_edge(v, u)]
+        for w in adj.get(u, ()):
+            if w == v:
+                continue
+            e = canonical_edge(u, w)
+            if times[e] >= t_vu:
+                robust.add(e)
+    return frozenset(robust)
+
+
+def triangle_pattern_set_adj(
+    adj: Mapping[int, Set[int]], times: Mapping[Edge, int], v: int
+) -> FrozenSet[Edge]:
+    """``T^{v,2}_i`` from a prebuilt adjacency; equals :func:`triangle_pattern_set`."""
+    neighbors = adj.get(v, set())
+    out: Set[Edge] = set(robust_two_hop_adj(adj, times, v))
+    for u in neighbors:
+        t_vu = times[canonical_edge(v, u)]
+        for w in adj.get(u, ()):
+            if w == v or w not in neighbors:
+                continue
+            e = canonical_edge(u, w)
+            t_e = times[e]
+            if t_e < t_vu and t_e < times[canonical_edge(v, w)]:
+                out.add(e)
+    return frozenset(out)
+
+
+def robust_three_hop_adj(
+    adj: Mapping[int, Set[int]], times: Mapping[Edge, int], v: int
+) -> FrozenSet[Edge]:
+    """``R^{v,3}_i`` from a prebuilt adjacency; equals :func:`robust_three_hop`."""
+    neighbors = adj.get(v, set())
+    robust: Set[Edge] = {canonical_edge(v, u) for u in neighbors}
+
+    # Pattern (a): v - u - w with t_{u,w} >= t_{v,u}.
+    robust |= set(robust_two_hop_adj(adj, times, v))
+
+    # Pattern (b): 3-paths v - u - w - x whose farthest edge is newest.
+    for u in neighbors:
+        t_vu = times[canonical_edge(v, u)]
+        for w in adj.get(u, ()):
+            if w == v or w == u:
+                continue
+            t_uw = times[canonical_edge(u, w)]
+            for x in adj.get(w, ()):
                 if x in (v, u, w):
                     continue
                 e_wx = canonical_edge(w, x)

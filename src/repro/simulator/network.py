@@ -90,6 +90,11 @@ class DynamicNetwork:
         # nothing changed.
         self._edges_snapshot: Optional[FrozenSet[Edge]] = None
         self._neighbor_snapshots: Dict[int, FrozenSet[int]] = {}
+        # The most recent applied batch (and its round), so incremental
+        # observers (the ground-truth oracle) can pay per change instead of
+        # diffing the full edge set every round.
+        self._last_changes: Optional[RoundChanges] = None
+        self._last_changes_round = 0
 
     # ------------------------------------------------------------------ #
     # Read access
@@ -152,6 +157,21 @@ class DynamicNetwork:
         """Alias of :attr:`edges`, for symmetry with trace recording."""
         return self.edges
 
+    @property
+    def last_changes(self) -> Optional[RoundChanges]:
+        """The most recent batch applied via :meth:`apply_changes` (or ``None``).
+
+        Together with :attr:`total_changes` this lets an incremental observer
+        recover the exact delta since its previous observation without a full
+        edge-set diff whenever it observed the preceding round.
+        """
+        return self._last_changes
+
+    @property
+    def last_changes_round(self) -> int:
+        """The round whose start :attr:`last_changes` was applied at."""
+        return self._last_changes_round
+
     # ------------------------------------------------------------------ #
     # Mutation
     # ------------------------------------------------------------------ #
@@ -208,6 +228,8 @@ class DynamicNetwork:
             self._total_changes += 1
 
         self.round_index = round_index
+        self._last_changes = changes
+        self._last_changes_round = round_index
 
         indications: Dict[int, NodeIndication] = {}
         for node in set(inserted_by_node) | set(deleted_by_node):

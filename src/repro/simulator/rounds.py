@@ -163,12 +163,30 @@ class RoundEngine:
         """Nodes inconsistent at the end of the last executed round."""
         return list(self._last_inconsistent)
 
+    @property
+    def last_active_nodes(self) -> Optional[Set[int]]:
+        """Nodes whose hooks ran in the last round, or ``None`` for "all".
+
+        The dense engine visits every node every round, so it reports
+        ``None``; the sparse engine reports its touched set, which
+        activity-proportional per-round validators (e.g. the incremental
+        oracle checks) use to skip nodes whose local state cannot have
+        changed.
+        """
+        return None
+
     def run_until_quiet(self, max_rounds: int = 10_000) -> int:
         """Execute quiet rounds until all nodes are consistent.
 
         Returns the number of quiet rounds executed.  Raises ``RuntimeError``
         if consistency is not reached within ``max_rounds`` (which would
         indicate a livelock in the algorithm under test).
+
+        Boundary contract (pinned by the test-suite): ``max_rounds`` is an
+        inclusive budget.  A system needing exactly ``max_rounds`` quiet
+        rounds gets them and the call returns ``max_rounds``; the error is
+        raised only when the nodes are still inconsistent *after*
+        ``max_rounds`` quiet rounds have run.
         """
         executed = 0
         # The consistency state refers to the end of the last executed round;
@@ -223,6 +241,8 @@ class SparseRoundEngine(RoundEngine):
         self._sent_last_round: Set[int] = set()
         # Live inconsistent set, updated by delta as verdicts flip.
         self._inconsistent: Set[int] = set()
+        # Nodes touched (hooks ran) in the most recent round.
+        self._last_touched: Set[int] = set()
 
     # ------------------------------------------------------------------ #
     # Round execution
@@ -297,6 +317,7 @@ class SparseRoundEngine(RoundEngine):
                 dirty.add(v)
 
         self._sent_last_round = sent_now
+        self._last_touched = set(touched)
         self._last_inconsistent = sorted(inconsistent)
         return self.metrics.record_round_delta(
             round_index=round_index,
@@ -306,6 +327,11 @@ class SparseRoundEngine(RoundEngine):
             num_envelopes=num_envelopes,
             bits_sent=bits_sent,
         )
+
+    @property
+    def last_active_nodes(self) -> Optional[Set[int]]:
+        """The touched set of the last round (see :class:`RoundEngine`)."""
+        return self._last_touched
 
 
 def create_engine(

@@ -11,7 +11,7 @@ algorithm answers against the centralized oracle after every round.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Set
 
 from .adversary import Adversary, AdversaryView
 from .bandwidth import BandwidthPolicy
@@ -22,12 +22,48 @@ from .node import AlgorithmFactory, NodeAlgorithm
 from .rounds import ENGINE_MODES, RoundEngine, create_engine
 from .trace import TopologyTrace, TraceRecordingAdversary
 
-__all__ = ["RoundValidator", "SimulationResult", "SimulationRunner", "drive_engine"]
+__all__ = [
+    "ActiveNodesView",
+    "RoundValidator",
+    "SimulationResult",
+    "SimulationRunner",
+    "drive_engine",
+]
 
 #: A per-round validation hook: ``validator(round_index, network, nodes)``.
 #: Validators are called after the query window of every round and should
 #: raise (e.g. ``AssertionError``) when the algorithm misbehaves.
 RoundValidator = Callable[[int, DynamicNetwork, Mapping[int, NodeAlgorithm]], None]
+
+
+class ActiveNodesView(Mapping):
+    """The nodes mapping handed to round validators, annotated with activity.
+
+    Behaves exactly like the plain ``{node_id: algorithm}`` mapping (O(1)
+    wrapper, no copying), but additionally carries :attr:`active_ids` -- the
+    engine's last-round active set, or ``None`` when the engine visited every
+    node (the dense scheduler).  Activity-aware validators (the incremental
+    oracle checks) read the attribute via ``getattr(nodes, "active_ids",
+    None)``, so plain dicts keep working wherever tests call validators
+    directly.
+    """
+
+    __slots__ = ("_nodes", "active_ids")
+
+    def __init__(
+        self, nodes: Mapping[int, NodeAlgorithm], active_ids: Optional[Set[int]]
+    ) -> None:
+        self._nodes = nodes
+        self.active_ids = active_ids
+
+    def __getitem__(self, key: int) -> NodeAlgorithm:
+        return self._nodes[key]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
 
 
 @dataclass
@@ -234,5 +270,10 @@ class SimulationRunner:
     # Internal helpers
     # ------------------------------------------------------------------ #
     def _run_validators(self) -> None:
+        if not self._validators:
+            return
+        nodes = ActiveNodesView(
+            self.nodes, getattr(self.engine, "last_active_nodes", None)
+        )
         for validator in self._validators:
-            validator(self.network.round_index, self.network, self.nodes)
+            validator(self.network.round_index, self.network, nodes)

@@ -18,9 +18,15 @@ promotes it to first-class :class:`Check` objects that additionally
 
 Every check is oracle-backed: it compares the distributed nodes' final (or
 per-round) state against the centralized ground truth of :mod:`repro.oracle`.
-The metric names of the pre-existing checks (``triangle_matches_oracle``,
-``coverage_*``, ``believes_deleted_edge`` ...) are preserved bit-for-bit, so
-stored campaign results and benchmark tables are unaffected by the promotion.
+Queries go through the incremental
+:class:`~repro.oracle.ground_truth.GroundTruthOracle`: end-of-run checks
+build one oracle over the final network (one shared adjacency instead of a
+rebuild per query), and per-round hooks get a session-owned oracle that is
+fed each round's delta, so with the sparse engine's active set a quiet round
+costs O(1) and a busy round costs O(changes), not O(n).  The metric names of
+the pre-existing checks (``triangle_matches_oracle``, ``coverage_*``,
+``believes_deleted_edge`` ...) are preserved bit-for-bit, so stored campaign
+results and benchmark tables are unaffected.
 """
 
 from __future__ import annotations
@@ -28,18 +34,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from weakref import WeakKeyDictionary
 
 from ..adversary import CycleLowerBoundAdversary, ThreePathLowerBoundAdversary
 from ..core.queries import QueryResult, TriangleQuery
-from ..oracle import (
-    cliques_containing,
-    cycles_of_length,
-    khop_edges,
-    robust_three_hop,
-    robust_two_hop,
-    triangle_pattern_set,
-    triangles_containing,
-)
+from ..oracle import GroundTruthOracle, cycles_of_length
 from ..simulator import DynamicNetwork
 from ..simulator.adversary import AdversaryView
 from ..simulator.runner import SimulationResult
@@ -65,6 +64,26 @@ ResultCheck = Callable[[SimulationResult], Dict[str, float]]
 #: Cap on stored failures per check per run, so a badly corrupted result does
 #: not produce an unbounded report.
 MAX_FAILURES = 16
+
+#: One ground-truth oracle per final network, shared by every end-of-run
+#: check of a run (several checks grade the same result, and each would
+#: otherwise rebuild the same adjacency and re-answer the same queries).
+#: Keyed weakly so oracles die with their networks; invalidated whenever the
+#: network advanced or was mutated (the corrupted-fixture tests do both).
+_NETWORK_ORACLES: "WeakKeyDictionary[Any, Tuple[Tuple[int, int], GroundTruthOracle]]" = (
+    WeakKeyDictionary()
+)
+
+
+def oracle_for(network: DynamicNetwork) -> GroundTruthOracle:
+    """The shared end-of-run oracle for ``network``'s current state."""
+    state = (network.round_index, network.total_changes)
+    cached = _NETWORK_ORACLES.get(network)
+    if cached is not None and cached[0] == state:
+        return cached[1]
+    oracle = GroundTruthOracle.from_network(network)
+    _NETWORK_ORACLES[network] = (state, oracle)
+    return oracle
 
 
 @dataclass(frozen=True)
@@ -175,9 +194,23 @@ class Check:
     # Evaluation
     # ------------------------------------------------------------------ #
     def check_round(
-        self, round_index: int, network: DynamicNetwork, nodes: Mapping[int, Any], spec: Any
+        self,
+        round_index: int,
+        network: DynamicNetwork,
+        nodes: Mapping[int, Any],
+        spec: Any,
+        oracle: Optional[GroundTruthOracle] = None,
+        state: Optional[Dict[str, Any]] = None,
     ) -> List[CheckFailure]:
-        """Per-round hook; only called when ``has_round_hook`` is set."""
+        """Per-round hook; only called when ``has_round_hook`` is set.
+
+        ``oracle`` is the session's incremental ground-truth oracle, already
+        fed this round's delta; ``state`` is a per-run scratch dict the hook
+        may use to stay activity-proportional (e.g. remembering previously
+        found violations so only nodes whose state or truth changed need
+        re-examination).  Both are ``None`` when a hook is driven outside a
+        :class:`CheckSession`.
+        """
         return []
 
     def collect(
@@ -231,6 +264,11 @@ class CheckSession:
         self.check = check
         self.spec = spec
         self.round_failures: List[CheckFailure] = []
+        #: Incremental oracle fed once per round (created lazily on the first
+        #: hook call, when the network's size is known).
+        self.oracle: Optional[GroundTruthOracle] = None
+        #: Per-run scratch space for activity-proportional hooks.
+        self.round_state: Dict[str, Any] = {}
 
     @property
     def name(self) -> str:
@@ -245,7 +283,12 @@ class CheckSession:
             budget = MAX_FAILURES - len(self.round_failures)
             if budget <= 0:
                 return
-            failures = self.check.check_round(round_index, network, nodes, self.spec)
+            if self.oracle is None:
+                self.oracle = GroundTruthOracle(network.n)
+            self.oracle.observe(network)
+            failures = self.check.check_round(
+                round_index, network, nodes, self.spec, self.oracle, self.round_state
+            )
             self.round_failures.extend(failures[:budget])
 
         return hook
@@ -316,15 +359,16 @@ class CoverageCheck(Check):
             # The robust sets are undefined without true insertion times; do
             # not grade ratios against a corrupt time map.
             return {}, failures
+        oracle = oracle_for(network)
         ratios: Dict[str, list] = {"r2_e2": [], "t2_e2": [], "r3_e3": []}
         for v in range(network.n):
-            e2 = khop_edges(edges, v, 2)
-            e3 = khop_edges(edges, v, 3)
+            e2 = oracle.khop_edges(v, 2)
+            e3 = oracle.khop_edges(v, 3)
             if e2:
-                ratios["r2_e2"].append(len(robust_two_hop(edges, times, v)) / len(e2))
-                ratios["t2_e2"].append(len(triangle_pattern_set(edges, times, v)) / len(e2))
+                ratios["r2_e2"].append(len(oracle.robust_two_hop(v)) / len(e2))
+                ratios["t2_e2"].append(len(oracle.triangle_pattern_set(v)) / len(e2))
             if e3:
-                ratios["r3_e3"].append(len(robust_three_hop(edges, times, v)) / len(e3))
+                ratios["r3_e3"].append(len(oracle.robust_three_hop(v)) / len(e3))
         metrics = {
             f"coverage_{key}": sum(vals) / len(vals)
             for key, vals in ratios.items()
@@ -351,11 +395,10 @@ class RobustTwoHopOracleCheck(Check):
     algorithms = frozenset({"robust2hop"})
 
     def collect(self, result, spec):
-        network = result.network
-        times = network.insertion_times()
+        oracle = oracle_for(result.network)
         failures: List[CheckFailure] = []
         for v, node in result.nodes.items():
-            expected = robust_two_hop(network.edges, times, v)
+            expected = oracle.robust_two_hop(v)
             actual = node.known_edges()
             if actual != expected and len(failures) < MAX_FAILURES:
                 failures.append(
@@ -384,13 +427,12 @@ class RobustThreeHopOracleCheck(Check):
     algorithms = frozenset({"robust3hop", "cycles"})
 
     def collect(self, result, spec):
-        network = result.network
-        times = network.insertion_times()
+        oracle = oracle_for(result.network)
         failures: List[CheckFailure] = []
         for v, node in result.nodes.items():
             known = node.known_edges()
-            lower = robust_three_hop(network.edges, times, v)
-            upper = khop_edges(network.edges, v, 3)
+            lower = oracle.robust_three_hop(v)
+            upper = oracle.khop_edges(v, 3)
             if not lower <= known and len(failures) < MAX_FAILURES:
                 failures.append(
                     self._failure(
@@ -427,10 +469,10 @@ class TwoHopOracleCheck(Check):
     algorithms = frozenset({"twohop"})
 
     def collect(self, result, spec):
-        network = result.network
+        oracle = oracle_for(result.network)
         failures: List[CheckFailure] = []
         for v, node in result.nodes.items():
-            expected = khop_edges(network.edges, v, 2)
+            expected = oracle.khop_edges(v, 2)
             actual = node.known_edges()
             if actual != expected and len(failures) < MAX_FAILURES:
                 failures.append(
@@ -461,10 +503,10 @@ class TriangleOracleCheck(Check):
     algorithms = frozenset({"triangle", "clique"})
 
     def collect(self, result, spec):
-        edges = result.network.edges
+        oracle = oracle_for(result.network)
         failures: List[CheckFailure] = []
         for v, node in result.nodes.items():
-            expected = triangles_containing(edges, v)
+            expected = oracle.triangles_containing(v)
             actual = node.known_triangles()
             if actual != expected and len(failures) < MAX_FAILURES:
                 failures.append(
@@ -493,7 +535,7 @@ class CliqueOracleCheck(Check):
     algorithms = frozenset({"clique"})
 
     def collect(self, result, spec):
-        edges = result.network.edges
+        oracle = oracle_for(result.network)
         k = 3
         if spec is not None:
             # Mirror the planted_clique builder's default (k=4) so a spec
@@ -502,7 +544,7 @@ class CliqueOracleCheck(Check):
             k = int(spec.adversary_params.get("k", default_k))
         failures: List[CheckFailure] = []
         for v, node in result.nodes.items():
-            expected = cliques_containing(edges, v, k)
+            expected = oracle.cliques_containing(v, k)
             actual = node.known_cliques(k)
             if actual != expected and len(failures) < MAX_FAILURES:
                 failures.append(
@@ -534,7 +576,7 @@ class CycleCoverCheck(Check):
         if spec is not None:
             k = int(spec.adversary_params.get("k", 4))
         network = result.network
-        cycles = cycles_of_length(network.edges, k)
+        cycles = oracle_for(network).cycles_of_length(k)
         failures: List[CheckFailure] = []
         listed = 0
         for cycle in sorted(cycles, key=sorted):
@@ -586,13 +628,13 @@ class MembershipOracleCheck(Check):
 
     def collect(self, result, spec):
         network = result.network
-        edges = network.edges
+        oracle = oracle_for(network)
         failures: List[CheckFailure] = []
         queries = 0
         for v, node in result.nodes.items():
             if not node.is_consistent():
                 continue
-            truth = triangles_containing(edges, v)
+            truth = oracle.triangles_containing(v)
             for tri in sorted(truth, key=sorted):
                 queries += 1
                 answer = node.query(TriangleQuery(tri))
@@ -657,12 +699,12 @@ class TriangleRecallCheck(Check):
     algorithms = frozenset({"triangle", "clique", "triangle_nohints"})
 
     def collect(self, result, spec):
-        edges = result.network.edges
+        oracle = oracle_for(result.network)
         expected = 0
         found = 0
         failures: List[CheckFailure] = []
         for v, node in result.nodes.items():
-            truth = triangles_containing(edges, v)
+            truth = oracle.triangles_containing(v)
             known = node.known_triangles()
             expected += len(truth)
             found += len(truth & known)
@@ -703,6 +745,21 @@ class NoGhostTrianglesCheck(Check):
     This is the mid-run discipline of Theorem 1 (TRUE answers from consistent
     nodes are always real), enforced after *every* round via the round hook
     rather than only on the drained final state.
+
+    The hook is activity-proportional: a node's ghost set can only change
+    when its own state changed (it was in the engine's active set) or when
+    the truth of its claimed triangles changed.  For the normal case -- a
+    claimed triangle *containing* the claimer -- all three edges lie within
+    one hop of it, so the 1-hop dirty ball of this round's changes (read off
+    the session oracle) covers every truth flip; everybody else's verdict
+    from the previous round is carried forward in the session state, and a
+    quiet round costs O(1) instead of O(n).  Claims on triangles *not*
+    containing the claimer (only a buggy algorithm produces them) can be
+    broken by a change anywhere, so they are tracked separately and
+    re-evaluated every round -- the map is normally empty.  The reported
+    failure list is rebuilt in sorted node order, making it identical
+    whether or not the engine reported activity, and the ghost predicate is
+    the same edge-existence test :meth:`collect` uses on the final state.
     """
 
     name = "no_ghost_triangles"
@@ -726,7 +783,52 @@ class NoGhostTrianglesCheck(Check):
                     out.append((v, tri))
         return out
 
-    def check_round(self, round_index, network, nodes, spec):
+    def check_round(self, round_index, network, nodes, spec, oracle=None, state=None):
+        if state is None:
+            state = {}
+        near_ghosts: Dict[int, List[frozenset]] = state.setdefault("near_ghosts", {})
+        far_claims: Dict[int, List[frozenset]] = state.setdefault("far_claims", {})
+        active = getattr(nodes, "active_ids", None)
+        if oracle is None or active is None:
+            candidates = list(nodes)
+        else:
+            candidates = set(active) | oracle.last_changed_ball(1)
+
+        def is_real(tri) -> bool:
+            if oracle is not None:
+                return oracle.is_triangle(tri)
+            a, b, c = sorted(tri)
+            return (
+                network.has_edge(a, b)
+                and network.has_edge(a, c)
+                and network.has_edge(b, c)
+            )
+
+        for v in candidates:
+            node = nodes[v]
+            near: List[frozenset] = []
+            far: List[frozenset] = []
+            if node.is_consistent():
+                for tri in node.known_triangles():
+                    if v in tri:
+                        if not is_real(tri):
+                            near.append(tri)
+                    else:
+                        far.append(tri)
+            if near:
+                near_ghosts[v] = sorted(near, key=sorted)
+            else:
+                near_ghosts.pop(v, None)
+            if far:
+                far_claims[v] = sorted(far, key=sorted)
+            else:
+                far_claims.pop(v, None)
+
+        ghost_map: Dict[int, List[frozenset]] = dict(near_ghosts)
+        for v, tris in far_claims.items():
+            broken = [tri for tri in tris if not is_real(tri)]
+            if broken:
+                ghost_map[v] = sorted(ghost_map.get(v, []) + broken, key=sorted)
         return [
             self._failure(
                 "known_triangles",
@@ -735,7 +837,8 @@ class NoGhostTrianglesCheck(Check):
                 expected=f"no belief in nonexistent {sorted(tri)}",
                 actual="believed while consistent",
             )
-            for v, tri in self._ghosts(network, nodes)
+            for v in sorted(ghost_map)
+            for tri in ghost_map[v]
         ]
 
     def collect(self, result, spec):

@@ -195,3 +195,43 @@ class TestFlicker:
         # edges are back.
         assert not network.has_edge(1, 2)
         assert network.has_edge(0, 1) and network.has_edge(0, 2)
+
+    def test_background_edges_embed_gadget_in_static_graph(self):
+        adversary = FlickerTriangleAdversary(background_edges=25, n=40)
+        network, _ = drive(adversary, 40)
+        # The gadget plays out exactly as without a background...
+        assert not network.has_edge(1, 2)
+        assert network.has_edge(0, 1) and network.has_edge(0, 2)
+        # ...while 25 static edges among non-gadget nodes survive untouched.
+        gadget = set(range(9))
+        background = [e for e in network.edges if not set(e) & gadget]
+        assert len(background) == 25
+
+    def test_background_edges_deterministic_per_seed(self):
+        a = FlickerTriangleAdversary(background_edges=10, n=30, settle_rounds=0)
+        b = FlickerTriangleAdversary(background_edges=10, n=30, settle_rounds=0)
+        net_a, _ = drive(a, 30)
+        net_b, _ = drive(b, 30)
+        assert net_a.edges == net_b.edges
+
+    def test_background_edges_require_n(self):
+        with pytest.raises(ValueError, match="network size"):
+            FlickerTriangleAdversary(background_edges=5)
+
+    def test_registry_wires_spec_seed_into_background(self):
+        # Multi-seed sweeps of a flicker+background cell must realize
+        # distinct graphs (the background is the cell's only randomness).
+        from repro.experiments import build_adversary
+
+        def edges_for(seed):
+            adversary = build_adversary(
+                "flicker",
+                n=30,
+                seed=seed,
+                params={"background_edges": 10, "settle_rounds": 0},
+            )
+            network, _ = drive(adversary, 30)
+            return network.edges
+
+        assert edges_for(0) == edges_for(0)
+        assert edges_for(0) != edges_for(1)

@@ -195,11 +195,62 @@ class TestCampaignRunner:
         assert len(died) == 2
         assert len(store.completed_ids()) == 2
 
-    def test_unavailable_start_method_falls_back_inline(self, tmp_path):
-        campaign = _campaign()
+    def test_unknown_start_method_resolves_to_spawn(self, tmp_path):
+        # An unavailable start method falls back to 'spawn', not to inline.
+        runner = CampaignRunner(
+            _campaign(), tmp_path / "store", jobs=4, start_method="no-such-method"
+        )
+        assert runner.resolved_start_method() == "spawn"
+
+    def test_fork_unavailable_falls_back_to_spawn(self, tmp_path, monkeypatch):
+        """Without fork the pool must still run in parallel, under spawn.
+
+        The worker target is a module-level function fed plain spec dicts, so
+        it is importable and picklable from a spawned interpreter; this test
+        runs a real spawn pool to prove it.
+        """
+        from repro.experiments import campaign as campaign_module
+
+        real_get_context = campaign_module.mp.get_context
+        requested = []
+
+        def recording_get_context(method):
+            requested.append(method)
+            return real_get_context(method)
+
+        monkeypatch.setattr(
+            campaign_module.mp, "get_all_start_methods", lambda: ["spawn"]
+        )
+        monkeypatch.setattr(campaign_module.mp, "get_context", recording_get_context)
+        campaign = CampaignSpec(
+            name="spawned",
+            base={
+                "algorithm": "triangle",
+                "adversary": "churn",
+                "rounds": 5,
+                "adversary_params": dict(CHURN),
+                "record_trace": False,
+            },
+            grid={"n": [8, 10]},
+        )
         store = ResultStore(tmp_path / "store")
+        report = CampaignRunner(campaign, store, jobs=2, start_method="fork").run()
+        assert requested == ["spawn"]
+        assert report.num_run == 2 and not report.failed
+        assert len(store.completed_ids()) == 2
+
+    def test_no_start_method_available_falls_back_inline(self, tmp_path, monkeypatch):
+        from repro.experiments import campaign as campaign_module
+
+        monkeypatch.setattr(campaign_module.mp, "get_all_start_methods", lambda: [])
+        monkeypatch.setattr(
+            campaign_module.mp,
+            "get_context",
+            lambda method: pytest.fail("inline fallback must not build a context"),
+        )
+        campaign = _campaign()
         report = CampaignRunner(
-            campaign, store, jobs=4, start_method="no-such-method"
+            campaign, tmp_path / "store", jobs=4, start_method="fork"
         ).run()
         assert report.num_run == 4 and not report.failed
 

@@ -120,11 +120,18 @@ class TestAggregation:
             store.append(_record(f"a{seed}", n=16, seed=seed, amortized=value))
         store.append(_record("b0", n=32, seed=0, amortized=10.0))
         headers, rows = store.aggregate(group_by=("n",))
-        assert headers == ["n", "cells", "mean amortized_round_complexity", "p95 amortized_round_complexity"]
+        assert headers == [
+            "n",
+            "cells",
+            "mean amortized_round_complexity",
+            "p95 amortized_round_complexity",
+            "n amortized_round_complexity",
+        ]
         by_n = {row[0]: row for row in rows}
         assert by_n[16][1] == 3
         assert by_n[16][2] == pytest.approx(2.0)
         assert by_n[16][3] == pytest.approx(percentile([1.0, 2.0, 3.0], 95))
+        assert by_n[16][4] == 3  # every cell carried the metric
         assert by_n[32][2] == pytest.approx(10.0)
 
     def test_error_cells_excluded(self, tmp_path):
@@ -138,7 +145,26 @@ class TestAggregation:
         store = ResultStore(tmp_path / "s")
         store.append(_record("a"))
         _, rows = store.aggregate(group_by=("n",), metrics=("no_such_metric",))
-        assert rows[0][2:] == ["-", "-"]
+        assert rows[0][2:] == ["-", "-", 0]
+
+    def test_heterogeneous_records_surface_with_metric_count(self, tmp_path):
+        """`cells` counts group members; `n <metric>` counts values averaged.
+
+        Regression: records whose metric is missing or None were silently
+        dropped from the statistics while still counted in `cells`, so a
+        group could claim 4-cell coverage with a mean computed from 2.
+        """
+        store = ResultStore(tmp_path / "s")
+        store.append(_record("a0", seed=0, amortized=1.0))
+        store.append(_record("a1", seed=1, amortized=3.0))
+        missing = _record("a2", seed=2)
+        del missing["metrics"]["amortized_round_complexity"]
+        store.append(missing)
+        store.append(_record("a3", seed=3, amortized=None))
+        headers, rows = store.aggregate(group_by=("n",))
+        assert rows[0][headers.index("cells")] == 4
+        assert rows[0][headers.index("mean amortized_round_complexity")] == pytest.approx(2.0)
+        assert rows[0][headers.index("n amortized_round_complexity")] == 2
 
     def test_numeric_groups_sort_numerically(self, tmp_path):
         store = ResultStore(tmp_path / "s")

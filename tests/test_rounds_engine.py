@@ -143,3 +143,86 @@ class TestEngineAccounting:
         engine.execute_round(RoundChanges.inserts([(0, 3)]))
         with pytest.raises(RuntimeError):
             engine.run_until_quiet(max_rounds=5)
+
+
+class CountdownNode(NodeAlgorithm):
+    """Becomes inconsistent for exactly ``settle`` quiet rounds after a change.
+
+    Used to pin the inclusive-budget contract of ``run_until_quiet`` at the
+    exact boundary: the number of quiet rounds needed is known in advance.
+    """
+
+    settle = 3
+
+    def __init__(self, node_id: int, n: int) -> None:
+        super().__init__(node_id, n)
+        self.remaining = 0
+
+    def on_topology_change(self, round_index, inserted, deleted):
+        if inserted or deleted:
+            # +1 because this round's own on_messages already decrements.
+            self.remaining = self.settle + 1
+
+    def compose_messages(self, round_index):
+        return {}
+
+    def on_messages(self, round_index, received):
+        if self.remaining > 0:
+            self.remaining -= 1
+
+    def is_consistent(self) -> bool:
+        return self.remaining == 0
+
+    def is_quiescent(self) -> bool:
+        return self.remaining == 0
+
+    def query(self, query):  # pragma: no cover - not used
+        return None
+
+
+class TestRunUntilQuietBoundary:
+    """max_rounds is an inclusive budget, for the dense and sparse engines alike.
+
+    Audit result for the check-then-execute loop shape: needing exactly
+    ``max_rounds`` quiet rounds succeeds and returns ``max_rounds``; the
+    RuntimeError fires only when the budget is genuinely insufficient.
+    """
+
+    def make(self, mode: str):
+        from repro.simulator import create_engine
+
+        n = 4
+        network = DynamicNetwork(n)
+        nodes = {v: CountdownNode(v, n) for v in range(n)}
+        engine = create_engine(mode, network, nodes)
+        engine.execute_round(RoundChanges.inserts([(0, 1)]))
+        assert not engine.all_consistent
+        return engine
+
+    @pytest.mark.parametrize("mode", ["dense", "sparse"])
+    def test_exactly_max_rounds_needed_succeeds(self, mode):
+        engine = self.make(mode)
+        assert engine.run_until_quiet(max_rounds=CountdownNode.settle) == CountdownNode.settle
+        assert engine.all_consistent
+
+    @pytest.mark.parametrize("mode", ["dense", "sparse"])
+    def test_one_round_short_raises(self, mode):
+        engine = self.make(mode)
+        with pytest.raises(RuntimeError, match="still inconsistent"):
+            engine.run_until_quiet(max_rounds=CountdownNode.settle - 1)
+
+    @pytest.mark.parametrize("mode", ["dense", "sparse"])
+    def test_surplus_budget_stops_at_need(self, mode):
+        engine = self.make(mode)
+        assert engine.run_until_quiet(max_rounds=CountdownNode.settle + 1) == CountdownNode.settle
+        assert engine.all_consistent
+
+    @pytest.mark.parametrize("mode", ["dense", "sparse"])
+    def test_no_rounds_executed_is_vacuously_quiet(self, mode):
+        from repro.simulator import create_engine
+
+        n = 4
+        network = DynamicNetwork(n)
+        nodes = {v: CountdownNode(v, n) for v in range(n)}
+        engine = create_engine(mode, network, nodes)
+        assert engine.run_until_quiet(max_rounds=0) == 0
