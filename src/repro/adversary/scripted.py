@@ -11,6 +11,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..simulator.adversary import Adversary, AdversaryView
 from ..simulator.events import RoundChanges
+from ..simulator.trace import TopologyTrace
 
 __all__ = ["ScriptedAdversary"]
 
@@ -22,11 +23,23 @@ class ScriptedAdversary(Adversary):
         rounds: one entry per round; each entry is either a
             :class:`RoundChanges`, a pair ``(insert_edges, delete_edges)``, or
             ``None`` for a quiet round.
+        n: when given, the node count of the network the schedule is meant
+            for; any entry referencing a node outside ``range(n)`` is
+            rejected up front with a clear error instead of surfacing as a
+            mid-run topology failure.  The fuzz shrinker's node-renaming
+            pass relies on this strictness.
     """
 
-    def __init__(self, rounds: Iterable) -> None:
+    def __init__(self, rounds: Iterable, n: Optional[int] = None) -> None:
         self._rounds: List[RoundChanges] = [self._coerce(r) for r in rounds]
         self._cursor = 0
+        if n is not None:
+            # One strictness implementation for all schedule shapes: pour the
+            # batches into a TopologyTrace and reuse its node validation.
+            trace = TopologyTrace(n=n)
+            for changes in self._rounds:
+                trace.append(changes)
+            trace.validate_nodes()
 
     @staticmethod
     def _coerce(entry) -> RoundChanges:

@@ -23,11 +23,19 @@ Installed as the ``repro-dynamic-subgraphs`` console script.  Three modes:
 
       repro-dynamic-subgraphs verify --spec sweep.json
 
-Both modes resolve algorithm and adversary names through the shared
+* the ``fuzz`` subcommand generates seeded adversarial schedules, runs each
+  through the differential harness with every applicable check, ddmin-shrinks
+  new failures to minimal scripted reproducers and banks them in a corpus
+  (see :mod:`repro.fuzz`)::
+
+      repro-dynamic-subgraphs fuzz --budget 200 --seed 7 --shrink --corpus fuzz-out
+      repro-dynamic-subgraphs fuzz --replay --corpus tests/data/fuzz_corpus
+
+All modes resolve algorithm and adversary names through the shared
 registries of :mod:`repro.experiments.registry`, so every implemented
 adversary -- including the flickering-triangle construction, the Remark 1
-three-path lower bound and recorded-trace replay -- is reachable from the
-command line.
+three-path lower bound, recorded-trace replay and the schedule fuzzer -- is
+reachable from the command line.
 """
 
 from __future__ import annotations
@@ -57,8 +65,10 @@ __all__ = [
     "build_parser",
     "build_campaign_parser",
     "build_verify_parser",
+    "build_fuzz_parser",
     "campaign_main",
     "verify_main",
+    "fuzz_main",
 ]
 
 
@@ -401,6 +411,221 @@ def verify_main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+# --------------------------------------------------------------------- #
+# fuzz subcommand
+# --------------------------------------------------------------------- #
+def build_fuzz_parser() -> argparse.ArgumentParser:
+    """The ``fuzz`` subcommand parser (exposed for testing)."""
+    from .fuzz.generators import PROFILES
+    from .fuzz.injected import INJECTED_BUGS
+
+    parser = argparse.ArgumentParser(
+        prog="repro-dynamic-subgraphs fuzz",
+        description="Generate seeded adversarial schedules (churn bursts, flicker-gadget "
+        "splices, node isolation, delete/re-insert interleavings), run each through the "
+        "cross-engine differential harness with every applicable check, ddmin-shrink new "
+        "failures to minimal scripted reproducers, and bank them in a JSONL corpus. "
+        "With --replay, re-run every corpus reproducer instead and fail if any behaves "
+        "differently than recorded.",
+    )
+    parser.add_argument("--budget", type=int, default=50, help="number of schedules to try")
+    parser.add_argument("--seed", type=int, default=0, help="base seed of the schedule stream")
+    parser.add_argument(
+        "--shrink",
+        action="store_true",
+        help="ddmin-minimize the first failure of each new failure class",
+    )
+    parser.add_argument(
+        "--corpus",
+        type=Path,
+        default=None,
+        help="corpus directory: minimized reproducers are appended here "
+        "(and replayed from here with --replay)",
+    )
+    parser.add_argument(
+        "--replay",
+        action="store_true",
+        help="replay every corpus entry instead of fuzzing (requires --corpus)",
+    )
+    parser.add_argument(
+        "--algorithms",
+        default="triangle,robust2hop,robust3hop,twohop",
+        metavar="NAME[,NAME...]",
+        help="round-robin pool of algorithms under test",
+    )
+    parser.add_argument("--nodes", type=int, default=8, help="network size of every fuzz cell")
+    parser.add_argument(
+        "--schedule-rounds", type=int, default=30, help="rounds per generated schedule"
+    )
+    parser.add_argument(
+        "--profile",
+        choices=sorted(PROFILES),
+        default="mixed",
+        help="phase mix of the schedule generator",
+    )
+    parser.add_argument(
+        "--modes",
+        default="dense,sparse",
+        help="comma-separated engine modes each cell is compared across "
+        "(default: dense,sparse; add sharded for full coverage). "
+        "--replay ignores this: each corpus entry replays under the modes "
+        "it was recorded with",
+    )
+    parser.add_argument(
+        "--inject-bug",
+        choices=sorted(INJECTED_BUGS),
+        default=None,
+        help="swap a registry algorithm for a deliberately broken variant "
+        "(an injected-bug build, for exercising the pipeline end to end)",
+    )
+    parser.add_argument(
+        "--max-shrink-candidates",
+        type=int,
+        default=1500,
+        help="differential-run budget per shrink session",
+    )
+    parser.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        help="write the full structured fuzz report to this JSON file",
+    )
+    return parser
+
+
+def fuzz_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``fuzz`` subcommand."""
+    from .fuzz.corpus import CorpusStore
+    from .fuzz.driver import FuzzConfig, run_fuzz
+    from .fuzz.injected import inject_bug
+    from .verification import DEFAULT_MODES
+
+    args = build_fuzz_parser().parse_args(argv)
+    modes = tuple(part.strip() for part in args.modes.split(",") if part.strip())
+    algorithms = tuple(part.strip() for part in args.algorithms.split(",") if part.strip())
+    config = None
+    try:
+        if args.replay:
+            if args.corpus is None:
+                raise ValueError("--replay needs --corpus DIR to replay from")
+            # Replay ignores the fuzzing knobs (each entry carries its own
+            # modes/size), so they are deliberately not validated here.
+        else:
+            if any(mode not in DEFAULT_MODES for mode in modes):
+                raise ValueError(
+                    f"unknown mode in {modes}; choose from {', '.join(DEFAULT_MODES)}"
+                )
+            unknown = [a for a in algorithms if a not in ALGORITHMS]
+            if unknown:
+                raise ValueError(
+                    f"unknown algorithms {unknown}; choose from {sorted(ALGORITHMS)}"
+                )
+            config = FuzzConfig(
+                budget=args.budget,
+                seed=args.seed,
+                algorithms=algorithms,
+                n=args.nodes,
+                schedule_rounds=args.schedule_rounds,
+                profile=args.profile,
+                modes=modes,
+                shrink=args.shrink,
+                max_shrink_candidates=args.max_shrink_candidates,
+            )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    restore = None
+    if args.inject_bug is not None:
+        restore = inject_bug(args.inject_bug)
+        print(
+            f"NOTE: injected bug {args.inject_bug!r} is active -- this build is "
+            "intentionally broken",
+            file=sys.stderr,
+        )
+    try:
+        corpus = CorpusStore(args.corpus) if args.corpus is not None else None
+
+        if args.replay:
+            try:
+                entries = corpus.entries()
+            except ValueError as exc:
+                # A parseable-but-invalid line is a botched hand-edit; the
+                # store raises and the CLI reports it like any bad input.
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            if not entries:
+                # An empty replay must not pass vacuously: a typo'd path or a
+                # corrupted corpus file would silently disable the CI gate.
+                print(
+                    f"error: no corpus entries found under {args.corpus} "
+                    f"(expected {CorpusStore.CORPUS_FILE})",
+                    file=sys.stderr,
+                )
+                return 2
+            outcomes = corpus.replay_all(
+                progress=lambda outcome, done, total: print(
+                    f"[{done}/{total}] {outcome.describe()}"
+                )
+            )
+            bad = [o for o in outcomes if not o.ok]
+            if args.report is not None:
+                args.report.write_text(
+                    json.dumps(
+                        {
+                            "ok": not bad,
+                            "outcomes": [
+                                {
+                                    "entry_id": o.entry.entry_id,
+                                    "algorithm": o.entry.algorithm,
+                                    "expect": o.entry.expect,
+                                    "ok": o.ok,
+                                    "observed": o.observed.to_dict(),
+                                    "detail": o.detail,
+                                }
+                                for o in outcomes
+                            ],
+                        },
+                        indent=2,
+                    )
+                    + "\n"
+                )
+                print(f"report written to {args.report}")
+            print(
+                f"replayed {len(outcomes)} corpus entries: "
+                f"{len(outcomes) - len(bad)} ok, {len(bad)} stale/failing"
+            )
+            return 1 if bad else 0
+
+        def progress(record, done, total):
+            verdict = "ok" if record["ok"] else "FAIL"
+            print(f"[{done}/{total}] {record['cell_id']}: {verdict}")
+
+        print(
+            f"fuzz: budget {config.budget}, seed {config.seed}, n={config.n}, "
+            f"{config.schedule_rounds} rounds/schedule, profile {config.profile}, "
+            f"modes {'/'.join(config.modes)}"
+        )
+        report = run_fuzz(config, corpus=corpus, progress=progress)
+        if args.report is not None:
+            args.report.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+            print(f"report written to {args.report}")
+        print(
+            f"{report.num_cells} schedules fuzzed: {report.num_failing} failing "
+            f"({len(report.failure_classes)} distinct failure classes)"
+        )
+        for failure in report.failures:
+            print(f"\n{failure.describe()}", file=sys.stderr)
+        shrunk = next((f for f in report.failures if f.shrink is not None), None)
+        if shrunk is not None:
+            print("\nminimized reproducer (scripted trace):", file=sys.stderr)
+            print(json.dumps(shrunk.reproducer.to_dict(), indent=2), file=sys.stderr)
+        return 0 if report.ok else 1
+    finally:
+        if restore is not None:
+            restore()
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -408,6 +633,8 @@ def main(argv=None) -> int:
         return campaign_main(argv[1:])
     if argv and argv[0] == "verify":
         return verify_main(argv[1:])
+    if argv and argv[0] == "fuzz":
+        return fuzz_main(argv[1:])
     args = build_parser().parse_args(argv)
     return _run_single(args)
 

@@ -16,9 +16,13 @@ any point and re-run: cells whose id already has an ``ok`` record are skipped
 
 from __future__ import annotations
 
+import hashlib
+import json
 import multiprocessing as mp
+import sys
 import time
 import traceback
+import warnings
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as connection_wait
 from pathlib import Path
@@ -38,6 +42,12 @@ __all__ = ["run_cell", "execute_cell", "CampaignReport", "CampaignRunner"]
 ProgressCallback = Callable[[Dict[str, Any], int, int], None]
 
 
+def _combined_fingerprint(fingerprints: Dict[int, str]) -> str:
+    """One digest over every node's final state fingerprint."""
+    payload = json.dumps(sorted((int(v), fp) for v, fp in fingerprints.items()))
+    return hashlib.sha1(payload.encode()).hexdigest()
+
+
 def run_cell(spec: ExperimentSpec) -> Tuple[Dict[str, float], Optional[TopologyTrace]]:
     """Execute one cell and return ``(metrics, trace)``.
 
@@ -50,6 +60,20 @@ def run_cell(spec: ExperimentSpec) -> Tuple[Dict[str, float], Optional[TopologyT
     sizes are graded correctly).  ``trace`` is the realized schedule when
     ``spec.record_trace`` is set (always recorded, even for randomised
     adversaries, so any cell can be replayed bit-for-bit later).
+    """
+    metrics, trace, _ = _run_cell_full(spec)
+    return metrics, trace
+
+
+def _run_cell_full(
+    spec: ExperimentSpec,
+) -> Tuple[Dict[str, float], Optional[TopologyTrace], str]:
+    """:func:`run_cell` plus the combined final state fingerprint.
+
+    The fingerprint digests every node's
+    :meth:`~repro.simulator.node.NodeAlgorithm.state_fingerprint`; campaign
+    records persist it so later differential tooling (and the resume
+    validator) can compare stored runs without re-running them.
     """
     adversary = build_adversary(
         spec.adversary,
@@ -83,10 +107,15 @@ def run_cell(spec: ExperimentSpec) -> Tuple[Dict[str, float], Optional[TopologyT
         metrics["check_failures"] = float(
             sum(len(outcome.failures) for outcome in outcomes.values())
         )
-    return metrics, result.trace
+    fingerprint = _combined_fingerprint(
+        {v: algo.state_fingerprint() for v, algo in result.nodes.items()}
+    )
+    return metrics, result.trace, fingerprint
 
 
-def _run_sharded(spec, adversary) -> Tuple[Dict[str, float], Optional[TopologyTrace]]:
+def _run_sharded(
+    spec, adversary
+) -> Tuple[Dict[str, float], Optional[TopologyTrace], str]:
     if spec.record_trace:
         adversary = TraceRecordingAdversary(adversary, spec.n)
     bandwidth = BandwidthPolicy(factor=spec.bandwidth_factor, strict=spec.strict_bandwidth)
@@ -102,8 +131,9 @@ def _run_sharded(spec, adversary) -> Tuple[Dict[str, float], Optional[TopologyTr
         for key, value in engine.bandwidth.summary(spec.n).items():
             metrics[f"bandwidth_{key}"] = float(value)
         metrics["final_edges"] = float(engine.network.num_edges)
+        fingerprint = _combined_fingerprint(engine.state_fingerprints())
     trace = adversary.trace if isinstance(adversary, TraceRecordingAdversary) else None
-    return metrics, trace
+    return metrics, trace, fingerprint
 
 
 def execute_cell(spec: ExperimentSpec) -> Tuple[Dict[str, Any], Optional[Dict[str, Any]]]:
@@ -115,16 +145,18 @@ def execute_cell(spec: ExperimentSpec) -> Tuple[Dict[str, Any], Optional[Dict[st
     """
     start = time.perf_counter()
     try:
-        metrics, trace = run_cell(spec)
+        metrics, trace, fingerprint = _run_cell_full(spec)
         status, error = "ok", None
     except Exception:  # noqa: BLE001 - the traceback is the payload
-        metrics, trace = {}, None
+        metrics, trace, fingerprint = {}, None, None
         status, error = "error", traceback.format_exc()
     record: Dict[str, Any] = {
         "cell_id": spec.cell_id,
         "spec": spec.to_dict(),
+        "spec_hash": spec.spec_hash,
         "status": status,
         "metrics": metrics,
+        "state_fingerprint": fingerprint,
         "error": error,
         "duration_s": round(time.perf_counter() - start, 6),
         "finished_at": time.time(),
@@ -218,11 +250,32 @@ class CampaignRunner:
         """Run every pending cell; returns the :class:`CampaignReport`.
 
         With ``resume`` (the default), cells whose id already has an ``ok``
-        record in the store are skipped; pass ``resume=False`` to re-run the
-        full grid regardless of stored results.
+        record in the store are skipped -- but only after the stored record's
+        full ``spec_hash`` is validated against the cell about to be skipped.
+        A truncated-id collision, a tampered store, or a record predating
+        spec-hash stamping fails that validation; such cells warn loudly and
+        re-run instead of being silently trusted.  Pass ``resume=False`` to
+        re-run the full grid regardless of stored results.
         """
         cells = self.campaign.expand()
-        completed = self.store.completed_ids() if resume else set()
+        latest = self.store.latest() if resume else {}
+        completed = set()
+        for cell in cells:
+            record = latest.get(cell.cell_id)
+            if record is None or record.get("status") != "ok":
+                continue
+            stored_hash = record.get("spec_hash")
+            if stored_hash == cell.spec_hash:
+                completed.add(cell.cell_id)
+            else:
+                message = (
+                    f"stored result for cell {cell.cell_id} has spec hash "
+                    f"{stored_hash!r} but the campaign's cell hashes to "
+                    f"{cell.spec_hash!r}; NOT resuming from it -- the cell "
+                    "will re-run"
+                )
+                warnings.warn(message, RuntimeWarning, stacklevel=2)
+                print(f"warning: {message}", file=sys.stderr)
         pending = [cell for cell in cells if cell.cell_id not in completed]
         report = CampaignReport(
             campaign=self.campaign.name,

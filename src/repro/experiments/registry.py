@@ -45,6 +45,7 @@ from ..core import (
     TwoHopListingNode,
 )
 from ..core.membership import PATTERNS
+from ..fuzz.generators import build_fuzz_adversary
 from ..simulator import Adversary, Envelope, NodeAlgorithm, RoundChanges
 from ..simulator.trace import TopologyTrace, TraceReplayAdversary
 from ..verification.checks import CHECKS, ResultCheck, register_check
@@ -184,6 +185,10 @@ def _build_scripted(n, rounds, seed, params):
         raise ValueError(f"unexpected scripted params: {sorted(params)}")
     if trace.n > n:
         raise ValueError(f"trace was recorded for n={trace.n} but the spec has n={n}")
+    # TraceReplayAdversary additionally rejects schedules referencing node
+    # ids outside the trace's own declared range -- replay is strict, never
+    # silently dropping (or smuggling in) changes the recording could not
+    # have produced.  The shrinker's node-renaming pass relies on this.
     return TraceReplayAdversary(trace)
 
 
@@ -239,6 +244,10 @@ ADVERSARIES: Dict[str, AdversaryBuilder] = {
     "planted_cycle": _build_planted_cycle,
     "growing": _build_growing,
     "growing_star": _build_growing_star,
+    # Seeded adversarial schedule fuzzing (repro.fuzz): deterministic given
+    # (n, rounds, seed, params), so fuzz cells sweep and verify like any
+    # other experiment -- a "seed" grid axis is a fuzzing campaign.
+    "fuzz": build_fuzz_adversary,
 }
 
 

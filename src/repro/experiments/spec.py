@@ -175,15 +175,29 @@ class ExperimentSpec:
         return cls(**deepcopy(dict(data)))
 
     @property
+    def spec_hash(self) -> str:
+        """The full SHA-1 digest of the canonical JSON form of this cell.
+
+        :attr:`cell_id` embeds a 10-hex-digit truncation of this digest for
+        readability; result records store the full hash so campaign resume
+        can prove a stored result really belongs to the cell it is about to
+        skip (truncated ids can collide across very large or long-lived
+        stores, and hand-edited stores can lie).
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha1(canonical.encode()).hexdigest()
+
+    @property
     def cell_id(self) -> str:
         """A deterministic, human-scannable id for this cell.
 
         The readable prefix names the headline axes; the hash suffix covers
         every field, so two specs differing anywhere get different ids.
         """
-        canonical = json.dumps(self.to_dict(), sort_keys=True)
-        digest = hashlib.sha1(canonical.encode()).hexdigest()[:10]
-        return f"{self.algorithm}-{self.adversary}-n{self.n}-s{self.seed}-{digest}"
+        return (
+            f"{self.algorithm}-{self.adversary}-n{self.n}-s{self.seed}-"
+            f"{self.spec_hash[:10]}"
+        )
 
 
 def _apply_path(cell: Dict[str, Any], dotted: str, value: Any) -> None:

@@ -1,0 +1,65 @@
+"""Schedule fuzzing and divergence shrinking.
+
+The subsystem that turns "a campaign cell failed somewhere in a
+multi-thousand-round trace" into a one-screen reproducer:
+
+* :mod:`repro.fuzz.generators` -- seeded adversarial schedule generation
+  (churn bursts, quiet gaps, flicker-gadget splices, node isolation,
+  delete/re-insert interleavings) in the scripted-trace format;
+* :mod:`repro.fuzz.signature` -- failure classes and schedule fingerprints;
+* :mod:`repro.fuzz.shrink` -- the ddmin shrinker re-validating every
+  candidate through the differential harness;
+* :mod:`repro.fuzz.corpus` -- the JSONL reproducer corpus the tier-1 tests
+  replay as permanent regressions;
+* :mod:`repro.fuzz.driver` -- the generate/verify/shrink/bank loop behind
+  ``repro-dynamic-subgraphs fuzz``;
+* :mod:`repro.fuzz.injected` -- deliberately broken builds for exercising
+  the pipeline end to end.
+
+``generators`` only depends on the simulator layer (the ``fuzz`` adversary
+registry entry imports it); everything else pulls in the experiments and
+verification stacks and is therefore loaded lazily (PEP 562), keeping the
+registry import acyclic.
+"""
+
+from .generators import PROFILES, ScheduleFuzzer, build_fuzz_adversary, generate_trace
+
+#: Lazily loaded names (these modules import repro.experiments /
+#: repro.verification, which in turn import the registry that imports us).
+_LAZY_EXPORTS = {
+    "FailureSignature": "signature",
+    "evaluate_spec": "signature",
+    "trace_fingerprint": "signature",
+    "ShrinkResult": "shrink",
+    "Shrinker": "shrink",
+    "legalize": "shrink",
+    "materialize_trace": "shrink",
+    "shrink_failure": "shrink",
+    "CorpusEntry": "corpus",
+    "CorpusStore": "corpus",
+    "ReplayOutcome": "corpus",
+    "FuzzConfig": "driver",
+    "FuzzFailure": "driver",
+    "FuzzReport": "driver",
+    "run_fuzz": "driver",
+    "INJECTED_BUGS": "injected",
+    "inject_bug": "injected",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY_EXPORTS:
+        from importlib import import_module
+
+        module = import_module(f".{_LAZY_EXPORTS[name]}", __name__)
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "PROFILES",
+    "ScheduleFuzzer",
+    "build_fuzz_adversary",
+    "generate_trace",
+    *sorted(_LAZY_EXPORTS),
+]

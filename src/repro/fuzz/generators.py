@@ -1,0 +1,274 @@
+"""Seeded schedule fuzzing: adversarial topology schedules from composable phases.
+
+The hand-written adversaries of :mod:`repro.adversary` each realize *one*
+worst case of the paper.  The fuzzer composes the ingredients of all of them
+-- random churn bursts, quiet gaps, delete/re-insert interleavings, node
+isolation, and spliced copies of the Section 1.3 flickering-triangle gadget --
+into seeded random schedules, which is how both real bugs found so far (the
+robust3hop delete+re-insert knowledge loss and the quiescence-contract latch)
+were originally triggered.
+
+A generated schedule is a plain :class:`~repro.simulator.trace.TopologyTrace`
+(the ``scripted`` adversary's format), so it replays bit-for-bit through every
+engine, serializes with campaign results, and feeds directly into the
+ddmin shrinker of :mod:`repro.fuzz.shrink`.  Generation is fully deterministic
+given ``(n, rounds, seed, profile)``: the differential harness builds the
+adversary once per engine mode and relies on both builds producing the same
+schedule.
+
+Legality invariant (pinned by the tests): every emitted round deletes only
+currently present edges, inserts only currently absent edges, touches each
+edge at most once per round, and references only nodes ``0 .. n-1`` -- i.e.
+the schedule replays through :class:`~repro.simulator.network.DynamicNetwork`
+without a :class:`~repro.simulator.network.TopologyError`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..simulator.trace import TopologyTrace, TraceReplayAdversary
+
+__all__ = [
+    "PROFILES",
+    "ScheduleFuzzer",
+    "generate_trace",
+    "build_fuzz_adversary",
+]
+
+Edge = Tuple[int, int]
+Round = Tuple[List[Edge], List[Edge]]  # (insertions, deletions)
+
+#: Named phase mixes.  ``mixed`` is the default fuzzing diet; ``churn`` is
+#: pure random churn (the PR 3 property-test workload); ``gadgets`` leans on
+#: the structured phases (flicker splices, isolation, re-insert interleavings)
+#: that target temporal-pattern bookkeeping.
+PROFILES: Dict[str, Dict[str, int]] = {
+    "mixed": {
+        "churn_burst": 4,
+        "quiet_gap": 2,
+        "flicker_splice": 2,
+        "isolation": 2,
+        "reinsert_interleave": 3,
+        "batch_blast": 1,
+    },
+    "churn": {"churn_burst": 6, "quiet_gap": 1},
+    "gadgets": {
+        "flicker_splice": 3,
+        "isolation": 2,
+        "reinsert_interleave": 3,
+        "quiet_gap": 1,
+        "churn_burst": 1,
+    },
+}
+
+
+class ScheduleFuzzer:
+    """Generates legal adversarial schedules from weighted random phases.
+
+    Args:
+        n: number of nodes the schedule may reference (``>= 3``; the gadget
+            phases need a triangle's worth of distinct nodes).
+        seed: RNG seed; schedules are deterministic given the constructor
+            arguments.
+        profile: phase mix, one of :data:`PROFILES`.
+        max_events_per_round: churn-burst event cap per round.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        seed: int = 0,
+        *,
+        profile: str = "mixed",
+        max_events_per_round: int = 3,
+    ) -> None:
+        if n < 3:
+            raise ValueError(f"the schedule fuzzer needs n >= 3, got {n}")
+        if profile not in PROFILES:
+            raise ValueError(f"unknown fuzz profile {profile!r}; choose from {sorted(PROFILES)}")
+        if max_events_per_round < 1:
+            raise ValueError("max_events_per_round must be positive")
+        self.n = n
+        self.profile = profile
+        self.max_events_per_round = max_events_per_round
+        self._rng = random.Random(seed)
+        self._present: set[Edge] = set()
+        self._phases = sorted(PROFILES[profile])
+        self._weights = [PROFILES[profile][name] for name in self._phases]
+
+    # ------------------------------------------------------------------ #
+    # Generation
+    # ------------------------------------------------------------------ #
+    def generate(self, num_rounds: int) -> TopologyTrace:
+        """Generate a legal schedule of exactly ``num_rounds`` rounds.
+
+        Each call starts from an empty graph again (every schedule replays
+        against a fresh network), so a reused fuzzer stays legal; only the
+        RNG stream carries over between calls.
+        """
+        if num_rounds < 0:
+            raise ValueError("num_rounds must be non-negative")
+        self._present.clear()
+        rounds: List[Round] = []
+        while len(rounds) < num_rounds:
+            phase = self._rng.choices(self._phases, weights=self._weights)[0]
+            rounds.extend(getattr(self, f"_phase_{phase}")())
+        trace = TopologyTrace(n=self.n)
+        trace.rounds.extend(rounds[:num_rounds])
+        return trace
+
+    # ------------------------------------------------------------------ #
+    # Edge bookkeeping
+    # ------------------------------------------------------------------ #
+    def _random_pair(self) -> Edge:
+        u = self._rng.randrange(self.n)
+        w = self._rng.randrange(self.n - 1)
+        if w >= u:
+            w += 1
+        return (u, w) if u < w else (w, u)
+
+    def _emit(self, insert: List[Edge] = (), delete: List[Edge] = ()) -> Round:
+        """Record a round's effect on the present set and return the round."""
+        for e in delete:
+            self._present.discard(e)
+        for e in insert:
+            self._present.add(e)
+        return (sorted(insert), sorted(delete))
+
+    # ------------------------------------------------------------------ #
+    # Phases.  Each returns a list of legal rounds and keeps ``_present``
+    # in sync; the generate loop concatenates (and finally truncates) them.
+    # ------------------------------------------------------------------ #
+    def _phase_churn_burst(self) -> List[Round]:
+        rounds: List[Round] = []
+        for _ in range(self._rng.randint(1, 4)):
+            inserts: List[Edge] = []
+            deletes: List[Edge] = []
+            touched: set[Edge] = set()
+            for _ in range(self._rng.randint(1, self.max_events_per_round)):
+                pair = self._random_pair()
+                if pair in touched:
+                    continue
+                touched.add(pair)
+                if pair in self._present:
+                    deletes.append(pair)
+                else:
+                    inserts.append(pair)
+            rounds.append(self._emit(insert=inserts, delete=deletes))
+        return rounds
+
+    def _phase_quiet_gap(self) -> List[Round]:
+        return [self._emit() for _ in range(self._rng.randint(1, 2))]
+
+    def _phase_flicker_splice(self) -> List[Round]:
+        """Splice a Section 1.3 gadget: build a triangle, flicker its far edge."""
+        v, u, w = self._rng.sample(range(self.n), 3)
+        legs = sorted(
+            e
+            for e in (tuple(sorted((v, u))), tuple(sorted((v, w))))
+            if e not in self._present
+        )
+        far = tuple(sorted((u, w)))
+        rounds: List[Round] = []
+        setup: List[Edge] = list(legs)
+        if far not in self._present:
+            setup.append(far)
+        if setup:
+            rounds.append(self._emit(insert=setup))
+        for _ in range(self._rng.randint(1, 3)):
+            rounds.append(self._emit(delete=[far]))
+            rounds.append(self._emit(insert=[far]))
+        if self._rng.random() < 0.5:
+            rounds.append(self._emit(delete=[far]))
+        return rounds
+
+    def _phase_isolation(self) -> List[Round]:
+        """Cut every present edge at one node, then optionally rewire some."""
+        candidates = sorted({x for e in self._present for x in e})
+        if not candidates:
+            return self._phase_churn_burst()
+        victim = self._rng.choice(candidates)
+        incident = sorted(e for e in self._present if victim in e)
+        rounds = [self._emit(delete=incident)]
+        if self._rng.random() < 0.5:
+            rounds.append(self._emit())  # let the deletions propagate a round
+        if self._rng.random() < 0.7:
+            rewire = [e for e in incident if self._rng.random() < 0.5]
+            if rewire:
+                rounds.append(self._emit(insert=rewire))
+        return rounds
+
+    def _phase_reinsert_interleave(self) -> List[Round]:
+        """Delete/re-insert one edge in consecutive rounds (backlog hazard)."""
+        absent = [
+            (u, w)
+            for u in range(self.n)
+            for w in range(u + 1, self.n)
+            if (u, w) not in self._present
+        ]
+        # On a complete graph only the delete-first flavour is possible (and
+        # vice versa on an empty one), so the coin is overridden at the edges.
+        if self._present and (not absent or self._rng.random() < 0.7):
+            edge = self._rng.choice(sorted(self._present))
+            rounds = [self._emit(delete=[edge]), self._emit(insert=[edge])]
+        else:
+            edge = self._rng.choice(absent)
+            rounds = [
+                self._emit(insert=[edge]),
+                self._emit(delete=[edge]),
+                self._emit(insert=[edge]),
+            ]
+        if self._rng.random() < 0.3:
+            rounds.append(self._emit(delete=[edge]))
+        return rounds
+
+    def _phase_batch_blast(self) -> List[Round]:
+        """One dense burst of insertions (batch-adversary style)."""
+        inserts: set[Edge] = set()
+        for _ in range(self._rng.randint(2, max(3, self.n))):
+            pair = self._random_pair()
+            if pair not in self._present:
+                inserts.add(pair)
+        if not inserts:
+            return [self._emit()]
+        return [self._emit(insert=sorted(inserts))]
+
+
+def generate_trace(
+    n: int,
+    num_rounds: int,
+    seed: int,
+    *,
+    profile: str = "mixed",
+    max_events_per_round: int = 3,
+) -> TopologyTrace:
+    """One-shot helper: the schedule a fresh :class:`ScheduleFuzzer` generates."""
+    fuzzer = ScheduleFuzzer(
+        n, seed, profile=profile, max_events_per_round=max_events_per_round
+    )
+    return fuzzer.generate(num_rounds)
+
+
+def build_fuzz_adversary(
+    n: int, rounds: Optional[int], seed: int, params: Dict[str, Any]
+) -> TraceReplayAdversary:
+    """Registry builder for the ``fuzz`` adversary (see ``ADVERSARIES``).
+
+    ``rounds`` is the spec's round budget (schedule length; default 30 when
+    the spec leaves it open); ``params`` accepts ``profile``,
+    ``max_events_per_round`` and an optional ``num_rounds`` override.  The
+    generated schedule is deterministic given the spec, so differential runs
+    rebuild the identical adversary per engine mode.
+    """
+    params = dict(params)
+    num_rounds = int(params.pop("num_rounds", rounds if rounds is not None else 30))
+    profile = params.pop("profile", "mixed")
+    max_events = int(params.pop("max_events_per_round", 3))
+    if params:
+        raise ValueError(f"unexpected fuzz params: {sorted(params)}")
+    trace = generate_trace(
+        n, num_rounds, seed, profile=profile, max_events_per_round=max_events
+    )
+    return TraceReplayAdversary(trace)

@@ -1,0 +1,82 @@
+"""Deliberately broken algorithm builds for exercising the fuzz pipeline.
+
+The fuzzer's end-to-end story ("random schedule -> differential failure ->
+ddmin -> one-screen reproducer") needs a build that actually fails.  This
+module ships two deterministic, seeded-bug variants modelled on the two real
+bugs previous PRs fixed:
+
+* ``triangle_ghost_deletes`` -- a :class:`TriangleMembershipNode` that drops
+  far-edge DELETE announcements whose endpoint ids sum to an odd number, so
+  consistent nodes keep believing in ghost triangles (caught by the
+  ``no_ghost_triangles`` / ``triangle_oracle`` checks; the class of the PR 3
+  robust3hop knowledge-loss bug).
+* ``robust2hop_quiescence_latch`` -- a :class:`RobustTwoHopNode` that claims
+  quiescence unconditionally, violating the sparse engine's contract exactly
+  like the ``_queue_empty_at_send`` latch PR 3 fixed: the sparse run diverges
+  from dense (or livelocks in the drain, which the quiet-round fast-forward
+  turns into an immediate error).
+
+:func:`inject_bug` swaps the *real* registry entry for the buggy variant --
+an "injected-bug build" -- so the whole stack (spec validation, applicable
+checks, campaign cells) treats the broken algorithm as the genuine article.
+It returns a restore callable; the ``fuzz`` CLI applies it process-wide
+behind the ``--inject-bug`` flag and tests restore in ``finally`` blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from ..core.robust2hop import RobustTwoHopNode
+from ..core.triangle import TriangleMembershipNode
+from ..simulator.messages import EdgeOp
+
+__all__ = [
+    "INJECTED_BUGS",
+    "GhostDeleteTriangleNode",
+    "LatchedQuiescenceRobustTwoHopNode",
+    "inject_bug",
+]
+
+
+class GhostDeleteTriangleNode(TriangleMembershipNode):
+    """Injected bug: selectively deaf to far-edge deletion announcements."""
+
+    def _apply_pattern_a(self, sender, message):
+        if (
+            message.op is EdgeOp.DELETE
+            and self.node_id not in message.edge
+            and (message.edge[0] + message.edge[1]) % 2 == 1
+        ):
+            return  # the bug: this deletion never reaches the claim table
+        super()._apply_pattern_a(sender, message)
+
+
+class LatchedQuiescenceRobustTwoHopNode(RobustTwoHopNode):
+    """Injected bug: reports quiescence even with a backlogged queue."""
+
+    def is_quiescent(self) -> bool:
+        return True
+
+
+#: name -> (registry algorithm it replaces, buggy factory).
+INJECTED_BUGS: Dict[str, Tuple[str, Callable]] = {
+    "triangle_ghost_deletes": ("triangle", GhostDeleteTriangleNode),
+    "robust2hop_quiescence_latch": ("robust2hop", LatchedQuiescenceRobustTwoHopNode),
+}
+
+
+def inject_bug(name: str) -> Callable[[], None]:
+    """Swap a registry algorithm for its buggy variant; returns the restorer."""
+    from ..experiments.registry import ALGORITHMS
+
+    if name not in INJECTED_BUGS:
+        raise ValueError(f"unknown injected bug {name!r}; choose from {sorted(INJECTED_BUGS)}")
+    target, factory = INJECTED_BUGS[name]
+    previous = ALGORITHMS[target]
+    ALGORITHMS[target] = factory
+
+    def restore() -> None:
+        ALGORITHMS[target] = previous
+
+    return restore

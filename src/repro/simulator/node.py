@@ -42,6 +42,7 @@ the dense semantics for algorithms that have not been ported.
 
 from __future__ import annotations
 
+import enum
 import hashlib
 from abc import ABC, abstractmethod
 from collections import deque
@@ -68,6 +69,13 @@ def canonical_state(obj: Any) -> Any:
     :func:`state_fingerprint` to compare node state across engines and
     processes.
     """
+    if isinstance(obj, enum.Enum):
+        # Before the int/str check: an IntEnum/StrEnum member must canonicalize
+        # by identity, not by value.  Enum members reach here through queued
+        # protocol items (e.g. EdgeOp) whenever an *undrained* node is
+        # fingerprinted; their vars() is a mappingproxy, so without this case
+        # they would fail the default-repr check below.
+        return ("enum", type(obj).__name__, obj.name)
     if isinstance(obj, (str, int, float, bool, bytes, type(None))):
         return obj
     if isinstance(obj, (set, frozenset)):

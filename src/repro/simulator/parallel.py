@@ -320,6 +320,19 @@ class ShardedRoundEngine:
     def inconsistent_nodes(self) -> List[int]:
         return list(self._last_inconsistent)
 
+    @property
+    def drain_fixpoint(self) -> bool:
+        """Mirrors :attr:`RoundEngine.drain_fixpoint` for the sharded scheduler.
+
+        In sparse mode every worker's update reply carries whether its shard
+        still has pending activity (dirty nodes or senders); when no shard
+        needs a react, a quiet round dispatches no worker ops at all, so no
+        node state can change -- the same quiet-round fixpoint the serial
+        sparse engine proves, and the drain loops fast-forward on it.  Dense
+        mode runs every hook every round and never proves one.
+        """
+        return self.mode == "sparse" and not any(self._needs_react)
+
     def query(self, node_id: int, query: Any) -> Any:
         """Forward a query to the worker owning ``node_id`` and return its answer."""
         conn = self._conns[self._node_to_shard[node_id]]

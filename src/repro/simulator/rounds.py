@@ -175,6 +175,18 @@ class RoundEngine:
         """
         return None
 
+    @property
+    def drain_fixpoint(self) -> bool:
+        """Whether further quiet rounds provably cannot change any node.
+
+        The dense engine runs every hook every round and therefore never
+        proves a fixpoint; the sparse engine reports ``True`` once its
+        active set is empty (no dirty nodes, nobody sent last round), at
+        which point a quiet round is a no-op and the remaining drain rounds
+        can be batched into their (already-known) outcome.
+        """
+        return False
+
     def run_until_quiet(self, max_rounds: int = 10_000) -> int:
         """Execute quiet rounds until all nodes are consistent.
 
@@ -194,6 +206,17 @@ class RoundEngine:
         if not self.metrics.rounds:
             return 0
         while not self.all_consistent:
+            # Quiet-round fast-forward: once the engine proves a fixpoint
+            # (empty active set with no pending changes), every remaining
+            # drain round is a no-op -- batch them into the terminal verdict
+            # instead of executing max_rounds trivial rounds one by one.
+            if self.drain_fixpoint:
+                raise RuntimeError(
+                    f"nodes {self.inconsistent_nodes[:6]} can never become "
+                    f"consistent: the engine reached a quiescent fixpoint after "
+                    f"{executed} quiet rounds (no active nodes, no pending "
+                    "changes), so the remaining drain rounds were fast-forwarded"
+                )
             if executed >= max_rounds:
                 raise RuntimeError(
                     f"nodes still inconsistent after {max_rounds} quiet rounds"
@@ -332,6 +355,19 @@ class SparseRoundEngine(RoundEngine):
     def last_active_nodes(self) -> Optional[Set[int]]:
         """The touched set of the last round (see :class:`RoundEngine`)."""
         return self._last_touched
+
+    @property
+    def drain_fixpoint(self) -> bool:
+        """Whether the next quiet round's active set is provably empty.
+
+        A quiet round contributes no indications, so the active set is
+        ``dirty | sent_last_round``; when both are empty no hook runs, no
+        inbox fills, and no consistency verdict can flip -- the engine's
+        state is a fixpoint under quiet rounds.  (An *inconsistent* node in
+        this situation has violated the quiescence contract; the drain loops
+        use this property to report that immediately instead of spinning.)
+        """
+        return not self._dirty and not self._sent_last_round
 
 
 def create_engine(

@@ -140,6 +140,17 @@ def drive_engine(
     if drain:
         drained = 0
         while not engine.all_consistent:
+            # Quiet-round fast-forward (see RoundEngine.drain_fixpoint): when
+            # the engine proves that no further quiet round can change any
+            # node, the remaining drain rounds are batched into the terminal
+            # verdict instead of being executed one by one.
+            if getattr(engine, "drain_fixpoint", False):
+                raise RuntimeError(
+                    f"nodes {engine.inconsistent_nodes[:6]} can never become "
+                    f"consistent: the engine reached a quiescent fixpoint after "
+                    f"{drained} drain rounds (no active nodes, no pending "
+                    "changes), so the remaining drain rounds were fast-forwarded"
+                )
             if drained >= max_drain_rounds:
                 raise RuntimeError(
                     f"nodes still inconsistent after {max_drain_rounds} drain rounds"

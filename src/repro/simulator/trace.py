@@ -57,6 +57,36 @@ class TopologyTrace:
         ins, dels = self.rounds[index]
         return RoundChanges.of(insert=ins, delete=dels)
 
+    def max_node_id(self) -> int:
+        """The largest node id any recorded event references (``-1`` if none)."""
+        return max(
+            (x for ins, dels in self.rounds for edge in (*ins, *dels) for x in edge),
+            default=-1,
+        )
+
+    def validate_nodes(self, n: Optional[int] = None) -> "TopologyTrace":
+        """Reject schedules referencing nodes outside ``range(n)``.
+
+        ``n`` defaults to the trace's own declared node count.  Raises
+        ``ValueError`` naming the first offending round and edge; returns the
+        trace itself so construction sites can chain the call.  Replay is
+        strict on purpose: a trace touching nodes absent from the initial
+        network was either recorded for a different network or corrupted,
+        and the fuzz shrinker's node-renaming pass depends on such schedules
+        failing loudly instead of half-applying.
+        """
+        limit = self.n if n is None else n
+        for index, (ins, dels) in enumerate(self.rounds):
+            for edge in (*ins, *dels):
+                for x in edge:
+                    if not 0 <= x < limit:
+                        raise ValueError(
+                            f"trace references node {x} (edge {tuple(edge)} in round "
+                            f"{index + 1}) but the initial network only has nodes "
+                            f"0..{limit - 1}"
+                        )
+        return self
+
     # ------------------------------------------------------------------ #
     # Serialisation
     # ------------------------------------------------------------------ #
@@ -110,10 +140,16 @@ class TraceRecordingAdversary(Adversary):
 
 
 class TraceReplayAdversary(Adversary):
-    """Replays a previously recorded :class:`TopologyTrace` round by round."""
+    """Replays a previously recorded :class:`TopologyTrace` round by round.
+
+    The trace is validated up front: a schedule referencing node ids outside
+    the trace's declared ``range(n)`` is rejected with a clear error (see
+    :meth:`TopologyTrace.validate_nodes`) rather than surfacing mid-run or
+    silently relying on the host network being larger than recorded.
+    """
 
     def __init__(self, trace: TopologyTrace) -> None:
-        self.trace = trace
+        self.trace = trace.validate_nodes()
         self._cursor = 0
 
     def changes_for_round(self, view: AdversaryView) -> Optional[RoundChanges]:

@@ -57,6 +57,46 @@ class TestScripted:
         assert network.num_edges == 2
 
 
+class TestScriptedStrictness:
+    """Schedules referencing unknown node ids are rejected up front."""
+
+    def test_scripted_adversary_validates_against_n(self):
+        with pytest.raises(ValueError, match=r"node 7 .*round 2.*nodes 0\.\.3"):
+            ScriptedAdversary([([(0, 1)], []), ([(3, 7)], [])], n=4)
+
+    def test_scripted_adversary_without_n_stays_lenient(self):
+        # n is optional: unit tests that construct schedules for ad-hoc
+        # networks keep working, and the network itself still validates.
+        ScriptedAdversary([([(3, 7)], [])])
+
+    def test_trace_replay_rejects_out_of_range_ids(self):
+        from repro.simulator.trace import TopologyTrace, TraceReplayAdversary
+
+        trace = TopologyTrace(n=4)
+        trace.append(RoundChanges.inserts([(0, 1)]))
+        trace.append(RoundChanges.inserts([(2, 5)]))
+        with pytest.raises(ValueError, match=r"node 5 .*round 2"):
+            TraceReplayAdversary(trace)
+
+    def test_validate_nodes_accepts_legal_traces(self):
+        from repro.simulator.trace import TopologyTrace
+
+        trace = TopologyTrace(n=4)
+        trace.append(RoundChanges.of(insert=[(0, 3)], delete=[]))
+        assert trace.validate_nodes() is trace
+        assert trace.max_node_id() == 3
+        assert TopologyTrace(n=4).max_node_id() == -1
+
+    def test_registry_scripted_builder_is_strict(self):
+        from repro.experiments import build_adversary
+
+        bad = {"n": 4, "rounds": [{"insert": [[0, 9]], "delete": []}]}
+        # even though the spec's network (n=12) could host node 9, the trace
+        # declares n=4: the recording and the schedule contradict each other
+        with pytest.raises(ValueError, match="node 9"):
+            build_adversary("scripted", n=12, rounds=None, seed=0, params={"trace": bad})
+
+
 class TestScheduleAdversary:
     def test_wait_for_stability_blocks_until_consistent(self):
         def gen():

@@ -353,3 +353,88 @@ class TestFlickerGhostCheck:
         metrics, _ = run_cell(spec)
         assert metrics["node_v_consistent"] == 1.0
         assert metrics["believes_deleted_edge"] == 0.0
+
+
+class TestResumeValidation:
+    """Fingerprint-based resume: skip only cells whose spec hash matches."""
+
+    def test_records_carry_spec_hash_and_state_fingerprint(self):
+        spec = ExperimentSpec(
+            algorithm="triangle", adversary="churn", n=10, rounds=15,
+            adversary_params=dict(CHURN),
+        )
+        record, _ = execute_cell(spec)
+        assert record["spec_hash"] == spec.spec_hash
+        assert len(record["spec_hash"]) == 40  # the full sha1, not the cell_id prefix
+        assert record["spec_hash"].startswith(spec.cell_id.rsplit("-", 1)[-1])
+        assert isinstance(record["state_fingerprint"], str)
+        # deterministic: re-running the cell reproduces the same final state
+        again, _ = execute_cell(spec)
+        assert again["state_fingerprint"] == record["state_fingerprint"]
+
+    def test_sharded_cells_are_fingerprinted_too(self):
+        base = dict(
+            algorithm="triangle", adversary="churn", n=12, rounds=15,
+            adversary_params=dict(CHURN),
+        )
+        serial, _ = execute_cell(ExperimentSpec(**base, engine="serial"))
+        sharded, _ = execute_cell(
+            ExperimentSpec(**base, engine="sharded", num_workers=2)
+        )
+        # engine/num_workers are spec fields, so the ids differ, but the final
+        # node state must be engine-independent: identical fingerprints.
+        assert sharded["state_fingerprint"] == serial["state_fingerprint"]
+
+    def test_error_records_have_no_fingerprint(self):
+        spec = ExperimentSpec(
+            algorithm="triangle", adversary="scripted", n=12,
+            adversary_params={"trace_path": "/nonexistent/trace.json"},
+        )
+        record, _ = execute_cell(spec)
+        assert record["status"] == "error"
+        assert record["state_fingerprint"] is None
+
+    def test_resume_skips_only_matching_spec_hashes(self, tmp_path):
+        campaign = _campaign()
+        store = ResultStore(tmp_path / "store")
+        CampaignRunner(campaign, store, jobs=1).run()
+        # tamper with one stored record's spec hash (a store from a different
+        # spec revision, a truncated-id collision, or a hand-edited file)
+        records = store.records()
+        victim = records[0]["cell_id"]
+        tampered_path = tmp_path / "tampered"
+        tampered = ResultStore(tampered_path)
+        for record in records:
+            if record["cell_id"] == victim:
+                record = {**record, "spec_hash": "0" * 40}
+            tampered.append(record)
+
+        with pytest.warns(RuntimeWarning, match="NOT resuming"):
+            report = CampaignRunner(campaign, tampered, jobs=1).run()
+        assert report.num_skipped == 3
+        assert {r["cell_id"] for r in report.records} == {victim}
+
+    def test_resume_warns_loudly_on_stderr(self, tmp_path, capsys):
+        campaign = _campaign()
+        store = ResultStore(tmp_path / "store")
+        CampaignRunner(campaign, store, jobs=1).run()
+        victim = campaign.expand()[0]
+        legacy = ResultStore(tmp_path / "legacy")
+        for record in store.records():
+            record = dict(record)
+            if record["cell_id"] == victim.cell_id:
+                record.pop("spec_hash")  # a record predating hash stamping
+            legacy.append(record)
+        with pytest.warns(RuntimeWarning):
+            report = CampaignRunner(campaign, legacy, jobs=1).run()
+        err = capsys.readouterr().err
+        assert victim.cell_id in err and "re-run" in err
+        assert report.num_skipped == 3 and report.num_run == 1
+
+    def test_matching_hashes_resume_silently(self, tmp_path, recwarn):
+        campaign = _campaign()
+        store = ResultStore(tmp_path / "store")
+        CampaignRunner(campaign, store, jobs=1).run()
+        report = CampaignRunner(campaign, store, jobs=1).run()
+        assert report.num_run == 0 and report.num_skipped == 4
+        assert not [w for w in recwarn if issubclass(w.category, RuntimeWarning)]
