@@ -15,6 +15,9 @@ The library has five layers:
   distributed algorithms.
 * :mod:`repro.analysis` / :mod:`repro.workloads` -- measurement analysis,
   counting bounds and canned workloads for the benchmark harness.
+* :mod:`repro.obs` -- opt-in observability: the process-local telemetry
+  registry (counters / histograms / spans), JSONL snapshot sinks, hotspot
+  reports and live campaign progress rendering.
 
 Quickstart::
 
@@ -57,6 +60,7 @@ from .core import (
     TwoHopQuery,
 )
 from .monitor import DynamicGraphMonitor, MonitorAnswer
+from .obs import TELEMETRY, CampaignProgress, Histogram, Telemetry, TelemetrySink
 from .oracle import GroundTruthOracle
 from .simulator import (
     DynamicNetwork,
@@ -71,6 +75,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BatchInsertAdversary",
+    "CampaignProgress",
     "CliqueMembershipNode",
     "CliqueQuery",
     "CycleListingNode",
@@ -83,6 +88,7 @@ __all__ = [
     "FullBroadcastNode",
     "GroundTruthOracle",
     "HeavyTailedChurnAdversary",
+    "Histogram",
     "MembershipLowerBoundAdversary",
     "MetricsCollector",
     "MonitorAnswer",
@@ -96,6 +102,9 @@ __all__ = [
     "ScriptedAdversary",
     "SimulationResult",
     "SimulationRunner",
+    "TELEMETRY",
+    "Telemetry",
+    "TelemetrySink",
     "ThreePathLowerBoundAdversary",
     "TriangleMembershipNode",
     "TriangleQuery",

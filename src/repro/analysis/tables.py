@@ -118,9 +118,13 @@ def latest_ok_records(records: Iterable[Mapping[str, Any]]) -> List[Dict[str, An
 
 def record_lookup(record: Mapping[str, Any], dotted: str) -> Any:
     """Resolve a column name into a record: spec fields, then metrics, then
-    dotted paths (``spec.adversary_params.k``, ``metrics.total_changes``).
+    top-level record keys, then dotted paths (``spec.adversary_params.k``,
+    ``metrics.total_changes``).
 
-    Shared with :class:`repro.experiments.store.ResultStore` aggregation, so
+    The top-level fallback surfaces bookkeeping the campaign runner stamps
+    next to the metrics -- ``duration_s``, ``status``, ``finished_at`` -- in
+    tables without a dotted path.  Shared with
+    :class:`repro.experiments.store.ResultStore` aggregation, so
     column/grouping semantics are identical everywhere.
     """
     if "." in dotted:
@@ -133,7 +137,10 @@ def record_lookup(record: Mapping[str, Any], dotted: str) -> Any:
     spec = record.get("spec", {})
     if dotted in spec:
         return spec[dotted]
-    return record.get("metrics", {}).get(dotted)
+    metrics = record.get("metrics", {})
+    if dotted in metrics:
+        return metrics[dotted]
+    return record.get(dotted)
 
 
 def campaign_table(

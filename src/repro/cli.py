@@ -31,6 +31,17 @@ Installed as the ``repro-dynamic-subgraphs`` console script.  Three modes:
       repro-dynamic-subgraphs fuzz --budget 200 --seed 7 --shrink --corpus fuzz-out
       repro-dynamic-subgraphs fuzz --replay --corpus tests/data/fuzz_corpus
 
+* the ``telemetry`` subcommand renders the telemetry snapshots a campaign
+  collected (``campaign --telemetry``) as a merged hotspot report -- span
+  cumulative times, histogram percentiles, counters -- optionally as JSON::
+
+      repro-dynamic-subgraphs telemetry report --store campaigns/sweep
+      repro-dynamic-subgraphs telemetry report --store campaigns/sweep --json report.json
+
+Every subcommand takes ``--log-level`` to tune the ``repro.*`` logging
+hierarchy (the library itself never prints; diagnostics go through
+:mod:`logging`).
+
 All modes resolve algorithm and adversary names through the shared
 registries of :mod:`repro.experiments.registry`, so every implemented
 adversary -- including the flickering-triangle construction, the Remark 1
@@ -51,12 +62,14 @@ from .core.membership import PATTERNS
 from .experiments import (
     ADVERSARIES,
     ALGORITHMS,
+    PROFILERS,
     CampaignRunner,
     CampaignSpec,
     ExperimentSpec,
     ResultStore,
     build_adversary,
 )
+from .obs import LOG_LEVELS, CampaignProgress, configure_logging
 from .simulator import ENGINE_MODES
 from .verification import CHECKS
 
@@ -66,10 +79,22 @@ __all__ = [
     "build_campaign_parser",
     "build_verify_parser",
     "build_fuzz_parser",
+    "build_telemetry_parser",
     "campaign_main",
     "verify_main",
     "fuzz_main",
+    "telemetry_main",
 ]
+
+
+def _add_log_level(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--log-level`` flag to a (sub)parser."""
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default="warning",
+        help="threshold for the 'repro.*' logging hierarchy on stderr",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -133,6 +158,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="result checks to run after the simulation (see the registry: "
         f"{', '.join(sorted(CHECKS))}); 'auto' selects every applicable check",
     )
+    _add_log_level(parser)
     return parser
 
 
@@ -155,6 +181,7 @@ def _adversary_params(args: argparse.Namespace) -> Dict:
 def _run_single(args: argparse.Namespace) -> int:
     from .verification import applicable_checks, run_reference
 
+    configure_logging(args.log_level)
     try:
         spec = ExperimentSpec(
             algorithm=args.algorithm,
@@ -253,18 +280,52 @@ def build_campaign_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--metrics",
-        default="amortized_round_complexity",
-        help="comma-separated metric names to aggregate (mean and p95 per group)",
+        default="amortized_round_complexity,duration_s",
+        help="comma-separated metric names to aggregate "
+        "(mean/p50/p95/p99 per group; bare record keys like duration_s work too)",
     )
     parser.add_argument(
         "--list", action="store_true", dest="list_cells", help="print the expanded cells and exit"
     )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        default=None,
+        help="collect per-cell telemetry snapshots into <store>/telemetry/ "
+        "(defaults to the spec's own 'telemetry' settings)",
+    )
+    parser.add_argument(
+        "--no-telemetry",
+        action="store_false",
+        dest="telemetry",
+        help="force telemetry off even if the spec enables it",
+    )
+    parser.add_argument(
+        "--telemetry-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="snapshot cadence (default: the spec's interval_s, else 1s)",
+    )
+    parser.add_argument(
+        "--profile",
+        choices=PROFILERS,
+        default=None,
+        help="run every cell under a profiler; pstats dumps land in <store>/profiles/",
+    )
+    parser.add_argument(
+        "--no-progress",
+        action="store_true",
+        help="suppress the live per-cell progress rendering on stderr",
+    )
+    _add_log_level(parser)
     return parser
 
 
 def campaign_main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``campaign`` subcommand."""
     args = build_campaign_parser().parse_args(argv)
+    configure_logging(args.log_level)
     try:
         campaign = CampaignSpec.load(args.spec)
         cells = campaign.expand()
@@ -279,14 +340,27 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
 
     out = args.out if args.out is not None else Path("campaigns") / campaign.name
     store = ResultStore(out)
-    runner = CampaignRunner(campaign, store, jobs=args.jobs)
+    runner = CampaignRunner(
+        campaign,
+        store,
+        jobs=args.jobs,
+        telemetry=args.telemetry,
+        telemetry_interval_s=args.telemetry_interval,
+        profile=args.profile,
+    )
 
-    def progress(record, done, total):
-        status = record["status"]
-        print(f"[{done}/{total}] {record['cell_id']}: {status} ({record['duration_s']:.2f}s)")
+    # Live progress renders on stderr so stdout stays clean for the
+    # summary/aggregate tables (pipeable, diffable).
+    live = None if args.no_progress else CampaignProgress(len(cells))
 
     print(f"campaign {campaign.name!r}: {len(cells)} cells -> {out}")
-    report = runner.run(resume=not args.no_resume, progress=progress)
+    report = runner.run(
+        resume=not args.no_resume,
+        progress=live.cell_finished if live is not None else None,
+        on_start=live.cell_started if live is not None else None,
+    )
+    if live is not None:
+        live.close()
     print(
         f"ran {report.num_run} cells, skipped {report.num_skipped} already-complete, "
         f"{len(report.failed)} failed"
@@ -352,6 +426,7 @@ def build_verify_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the full structured verification report to this JSON file",
     )
+    _add_log_level(parser)
     return parser
 
 
@@ -360,6 +435,7 @@ def verify_main(argv: Optional[List[str]] = None) -> int:
     from .verification import DEFAULT_MODES, verify_campaign
 
     args = build_verify_parser().parse_args(argv)
+    configure_logging(args.log_level)
     modes = tuple(part.strip() for part in args.modes.split(",") if part.strip())
     try:
         campaign = CampaignSpec.load(args.spec)
@@ -490,6 +566,15 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the full structured fuzz report to this JSON file",
     )
+    parser.add_argument(
+        "--telemetry-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="stream fuzz telemetry heartbeats (schedules/sec, failures banked, "
+        "current signature) to this JSONL file",
+    )
+    _add_log_level(parser)
     return parser
 
 
@@ -501,6 +586,7 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
     from .verification import DEFAULT_MODES
 
     args = build_fuzz_parser().parse_args(argv)
+    configure_logging(args.log_level)
     modes = tuple(part.strip() for part in args.modes.split(",") if part.strip())
     algorithms = tuple(part.strip() for part in args.algorithms.split(",") if part.strip())
     config = None
@@ -543,6 +629,11 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
             "intentionally broken",
             file=sys.stderr,
         )
+    telemetry_on = args.telemetry_out is not None
+    if telemetry_on:
+        from .obs import TELEMETRY, TelemetrySink
+
+        TELEMETRY.enable(sink=TelemetrySink(args.telemetry_out), label="fuzz")
     try:
         corpus = CorpusStore(args.corpus) if args.corpus is not None else None
 
@@ -622,8 +713,77 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
             print(json.dumps(shrunk.reproducer.to_dict(), indent=2), file=sys.stderr)
         return 0 if report.ok else 1
     finally:
+        if telemetry_on:
+            from .obs import TELEMETRY
+
+            TELEMETRY.disable()
         if restore is not None:
             restore()
+
+
+# --------------------------------------------------------------------- #
+# telemetry subcommand
+# --------------------------------------------------------------------- #
+def build_telemetry_parser() -> argparse.ArgumentParser:
+    """The ``telemetry`` subcommand parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-dynamic-subgraphs telemetry",
+        description="Inspect the telemetry snapshots a campaign collected. "
+        "'report' merges every cell's final snapshot into one hotspot table: "
+        "span cumulative times (sorted hottest first), histogram percentiles "
+        "and counters, across engines, oracle, monitor and fuzz driver.",
+    )
+    parser.add_argument(
+        "command",
+        choices=("report",),
+        help="'report': merge per-cell snapshots into a hotspot report",
+    )
+    parser.add_argument(
+        "--store",
+        type=Path,
+        required=True,
+        help="campaign result-store directory (its telemetry/ subdirectory is "
+        "read), or a directory of telemetry JSONL files directly",
+    )
+    parser.add_argument(
+        "--top", type=int, default=20, help="number of hotspot rows to show"
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        dest="json_out",
+        help="additionally write the merged report as machine-readable JSON",
+    )
+    _add_log_level(parser)
+    return parser
+
+
+def telemetry_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``telemetry`` subcommand."""
+    from .obs import build_report, format_report
+
+    args = build_telemetry_parser().parse_args(argv)
+    configure_logging(args.log_level)
+    root = args.store
+    if (root / ResultStore.TELEMETRY_DIR).is_dir():
+        root = root / ResultStore.TELEMETRY_DIR
+    if not root.is_dir():
+        print(f"error: no telemetry directory at {root}", file=sys.stderr)
+        return 2
+    report = build_report(root, top=args.top)
+    if not report["cells"]:
+        print(
+            f"error: no telemetry snapshots under {root} "
+            "(was the campaign run with --telemetry?)",
+            file=sys.stderr,
+        )
+        return 2
+    print(format_report(report))
+    if args.json_out is not None:
+        args.json_out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"json report written to {args.json_out}")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -635,6 +795,8 @@ def main(argv=None) -> int:
         return verify_main(argv[1:])
     if argv and argv[0] == "fuzz":
         return fuzz_main(argv[1:])
+    if argv and argv[0] == "telemetry":
+        return telemetry_main(argv[1:])
     args = build_parser().parse_args(argv)
     return _run_single(args)
 

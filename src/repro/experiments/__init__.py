@@ -28,7 +28,7 @@ Quickstart::
     print(ResultStore("results/triangle-sweep").format_aggregate())
 """
 
-from .campaign import CampaignReport, CampaignRunner, execute_cell, run_cell
+from .campaign import PROFILERS, CampaignReport, CampaignRunner, execute_cell, run_cell
 from .registry import (
     ADVERSARIES,
     ALGORITHMS,
@@ -51,6 +51,7 @@ __all__ = [
     "CampaignSpec",
     "ExperimentSpec",
     "NullWorkloadNode",
+    "PROFILERS",
     "ResultStore",
     "build_adversary",
     "execute_cell",

@@ -16,18 +16,21 @@ any point and re-run: cells whose id already has an ``ok`` record are skipped
 
 from __future__ import annotations
 
+import cProfile
 import hashlib
 import json
+import logging
 import multiprocessing as mp
-import sys
 import time
 import traceback
 import warnings
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as connection_wait
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
+from ..obs.sink import TelemetrySink
+from ..obs.telemetry import TELEMETRY
 from ..simulator.bandwidth import BandwidthPolicy
 from ..simulator.parallel import ShardedRoundEngine, shard_nodes
 from ..simulator.runner import drive_engine
@@ -36,10 +39,18 @@ from .registry import ALGORITHMS, build_adversary
 from .spec import CampaignSpec, ExperimentSpec
 from .store import ResultStore
 
-__all__ = ["run_cell", "execute_cell", "CampaignReport", "CampaignRunner"]
+__all__ = ["run_cell", "execute_cell", "CampaignReport", "CampaignRunner", "PROFILERS"]
+
+logger = logging.getLogger(__name__)
 
 #: Progress callback: ``progress(record, finished_count, total_count)``.
 ProgressCallback = Callable[[Dict[str, Any], int, int], None]
+
+#: Per-cell start callback: ``on_start(cell_id)``.
+StartCallback = Callable[[str], None]
+
+#: Supported per-cell profiler backends.
+PROFILERS = ("cprofile",)
 
 
 def _combined_fingerprint(fingerprints: Dict[int, str]) -> str:
@@ -136,20 +147,52 @@ def _run_sharded(
     return metrics, trace, fingerprint
 
 
-def execute_cell(spec: ExperimentSpec) -> Tuple[Dict[str, Any], Optional[Dict[str, Any]]]:
+def execute_cell(
+    spec: ExperimentSpec,
+    *,
+    telemetry_dir: Optional[str | Path] = None,
+    telemetry_interval_s: float = 1.0,
+    profile: Optional[str] = None,
+    profile_dir: Optional[str | Path] = None,
+) -> Tuple[Dict[str, Any], Optional[Dict[str, Any]]]:
     """Run one cell defensively, returning ``(record, trace_dict)``.
 
     Never raises: failures become ``status == "error"`` records carrying the
     traceback, so one bad cell cannot take down a whole campaign (the resume
     pass will retry it).
+
+    With ``telemetry_dir``, the process-wide :data:`~repro.obs.telemetry.TELEMETRY`
+    singleton is enabled for the duration of the cell and streams periodic
+    snapshots to ``<telemetry_dir>/<cell_id>.jsonl``.  Telemetry collection is
+    read-only bookkeeping: the produced record, trace and state fingerprint
+    are bit-identical with and without it (pinned by the test-suite).  With
+    ``profile="cprofile"``, the cell additionally runs under :mod:`cProfile`
+    and the pstats dump lands in ``<profile_dir>/<cell_id>.pstats``.
     """
+    if profile is not None and profile not in PROFILERS:
+        raise ValueError(f"unknown profiler {profile!r}; choose from {PROFILERS}")
     start = time.perf_counter()
+    telemetry_path: Optional[Path] = None
+    if telemetry_dir is not None:
+        telemetry_path = Path(telemetry_dir) / f"{spec.cell_id}.jsonl"
+        TELEMETRY.enable(
+            sink=TelemetrySink(telemetry_path, interval_s=telemetry_interval_s),
+            label=spec.cell_id,
+        )
+    profiler = cProfile.Profile() if profile == "cprofile" else None
+    if profiler is not None:
+        profiler.enable()
     try:
         metrics, trace, fingerprint = _run_cell_full(spec)
         status, error = "ok", None
     except Exception:  # noqa: BLE001 - the traceback is the payload
         metrics, trace, fingerprint = {}, None, None
         status, error = "error", traceback.format_exc()
+    finally:
+        if profiler is not None:
+            profiler.disable()
+        if telemetry_path is not None:
+            TELEMETRY.disable()
     record: Dict[str, Any] = {
         "cell_id": spec.cell_id,
         "spec": spec.to_dict(),
@@ -161,14 +204,35 @@ def execute_cell(spec: ExperimentSpec) -> Tuple[Dict[str, Any], Optional[Dict[st
         "duration_s": round(time.perf_counter() - start, 6),
         "finished_at": time.time(),
     }
+    if telemetry_path is not None:
+        record["telemetry_path"] = str(telemetry_path)
+    if profiler is not None:
+        dest = Path(profile_dir if profile_dir is not None else ".") / f"{spec.cell_id}.pstats"
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        profiler.dump_stats(str(dest))
+        record["profile_path"] = str(dest)
     return record, (trace.to_dict() if trace is not None else None)
 
 
-def _campaign_worker(conn, spec_dicts: List[Dict[str, Any]]) -> None:
-    """Worker process: run a shard of cells, streaming each result back."""
+def _campaign_worker(
+    conn,
+    spec_dicts: List[Dict[str, Any]],
+    obs: Optional[Mapping[str, Any]] = None,
+) -> None:
+    """Worker process: run a shard of cells, streaming each result back.
+
+    ``obs`` carries the runner's observability settings (telemetry/profiler
+    directories and cadence) as a plain picklable dict.  A ``("start",
+    cell_id, None)`` message precedes every cell so the coordinator can
+    render live progress (which cells are running right now, not just which
+    finished).
+    """
+    obs = dict(obs or {})
     try:
         for spec_dict in spec_dicts:
-            record, trace_dict = execute_cell(ExperimentSpec.from_dict(spec_dict))
+            spec = ExperimentSpec.from_dict(spec_dict)
+            conn.send(("start", spec.cell_id, None))
+            record, trace_dict = execute_cell(spec, **obs)
             conn.send(("cell", record, trace_dict))
         conn.send(("done", None, None))
     finally:
@@ -210,6 +274,14 @@ class CampaignRunner:
             only runs inline when no start method is available at all.  The
             workers are *not* daemonic, so cells using the sharded engine can
             spawn their own shard processes.
+        telemetry: collect per-cell telemetry snapshots into the store's
+            ``telemetry/`` directory.  ``None`` (the default) defers to the
+            campaign spec's ``telemetry`` settings; ``True``/``False`` force
+            it on or off for this run.
+        telemetry_interval_s: snapshot cadence in seconds; ``None`` defers to
+            the campaign spec (which itself defaults to 1 second).
+        profile: per-cell profiler backend (one of :data:`PROFILERS`); pstats
+            dumps land in the store's ``profiles/`` directory.
     """
 
     def __init__(
@@ -219,13 +291,44 @@ class CampaignRunner:
         *,
         jobs: int = 1,
         start_method: str = "fork",
+        telemetry: Optional[bool] = None,
+        telemetry_interval_s: Optional[float] = None,
+        profile: Optional[str] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be positive")
+        if profile is not None and profile not in PROFILERS:
+            raise ValueError(f"unknown profiler {profile!r}; choose from {PROFILERS}")
         self.campaign = campaign
         self.store = store if isinstance(store, ResultStore) else ResultStore(store)
         self.jobs = jobs
         self.start_method = start_method
+        self.telemetry = telemetry
+        self.telemetry_interval_s = telemetry_interval_s
+        self.profile = profile
+
+    def _obs_settings(self) -> Dict[str, Any]:
+        """The ``execute_cell`` observability kwargs for this run.
+
+        Runner arguments win; the campaign spec's ``telemetry`` mapping is the
+        fallback, so a spec file can turn collection on for every run of the
+        campaign without CLI flags.
+        """
+        spec_cfg = self.campaign.telemetry or {}
+        enabled = self.telemetry
+        if enabled is None:
+            enabled = bool(spec_cfg.get("enabled", False))
+        interval = self.telemetry_interval_s
+        if interval is None:
+            interval = float(spec_cfg.get("interval_s", 1.0))
+        obs: Dict[str, Any] = {}
+        if enabled:
+            obs["telemetry_dir"] = str(self.store.telemetry_root)
+            obs["telemetry_interval_s"] = interval
+        if self.profile is not None:
+            obs["profile"] = self.profile
+            obs["profile_dir"] = str(self.store.profiles_root)
+        return obs
 
     def resolved_start_method(self) -> Optional[str]:
         """The start method the worker pool will actually use.
@@ -246,6 +349,7 @@ class CampaignRunner:
         *,
         resume: bool = True,
         progress: Optional[ProgressCallback] = None,
+        on_start: Optional[StartCallback] = None,
     ) -> CampaignReport:
         """Run every pending cell; returns the :class:`CampaignReport`.
 
@@ -256,6 +360,10 @@ class CampaignRunner:
         spec-hash stamping fails that validation; such cells warn loudly and
         re-run instead of being silently trusted.  Pass ``resume=False`` to
         re-run the full grid regardless of stored results.
+
+        ``on_start(cell_id)`` fires when a cell begins executing (in the
+        worker-pool path, when its start event arrives) and ``progress``
+        when it finishes -- together they drive live progress displays.
         """
         cells = self.campaign.expand()
         latest = self.store.latest() if resume else {}
@@ -275,7 +383,7 @@ class CampaignRunner:
                     "will re-run"
                 )
                 warnings.warn(message, RuntimeWarning, stacklevel=2)
-                print(f"warning: {message}", file=sys.stderr)
+                logger.warning(message)
         pending = [cell for cell in cells if cell.cell_id not in completed]
         report = CampaignReport(
             campaign=self.campaign.name,
@@ -284,11 +392,14 @@ class CampaignRunner:
         if not pending:
             return report
 
+        obs = self._obs_settings()
         start_method = self.resolved_start_method()
         inline = self.jobs == 1 or len(pending) == 1 or start_method is None
         if inline:
             for spec in pending:
-                record, trace_dict = execute_cell(spec)
+                if on_start is not None:
+                    on_start(spec.cell_id)
+                record, trace_dict = execute_cell(spec, **obs)
                 self._persist(record, trace_dict)
                 report.records.append(record)
                 if progress is not None:
@@ -302,7 +413,7 @@ class CampaignRunner:
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(
                 target=_campaign_worker,
-                args=(child_conn, [pending[i].to_dict() for i in shard]),
+                args=(child_conn, [pending[i].to_dict() for i in shard], obs),
             )
             proc.start()
             child_conn.close()
@@ -319,6 +430,10 @@ class CampaignRunner:
                         continue
                     if kind == "done":
                         open_conns.discard(conn)
+                        continue
+                    if kind == "start":
+                        if on_start is not None:
+                            on_start(record)  # payload is the cell id
                         continue
                     self._persist(record, trace_dict)
                     report.records.append(record)

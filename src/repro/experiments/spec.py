@@ -225,6 +225,13 @@ class CampaignSpec:
         seeds: seeds to replicate every grid point with; ignored when the
             grid itself has a ``"seed"`` axis.
         description: free-text note stored alongside the spec.
+        telemetry: observability defaults for campaign runs of this spec:
+            ``{"enabled": true}`` collects per-cell telemetry snapshots into
+            the result store's ``telemetry/`` directory; ``"interval_s"``
+            tunes the snapshot cadence.  Campaign-level configuration only --
+            it deliberately lives here and not on :class:`ExperimentSpec`,
+            whose hash defines cell identity: telemetry must never change
+            which cells exist or resume from stored results.
     """
 
     name: str
@@ -232,6 +239,7 @@ class CampaignSpec:
     grid: Dict[str, List[Any]] = field(default_factory=dict)
     seeds: List[int] = field(default_factory=lambda: [0])
     description: str = ""
+    telemetry: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -243,6 +251,16 @@ class CampaignSpec:
                 raise ValueError(f"grid axis {axis!r} has no values")
         if not self.seeds:
             raise ValueError("seeds must be non-empty (use [0] for a single run)")
+        if not isinstance(self.telemetry, Mapping):
+            raise ValueError("telemetry must be a mapping (e.g. {\"enabled\": true})")
+        self.telemetry = dict(self.telemetry)
+        unknown = set(self.telemetry) - {"enabled", "interval_s"}
+        if unknown:
+            raise ValueError(
+                f"unknown telemetry keys {sorted(unknown)}; known: enabled, interval_s"
+            )
+        if "interval_s" in self.telemetry and float(self.telemetry["interval_s"]) < 0:
+            raise ValueError("telemetry interval_s must be non-negative")
 
     # ------------------------------------------------------------------ #
     # Expansion
@@ -302,13 +320,16 @@ class CampaignSpec:
     # Serialisation
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "name": self.name,
             "description": self.description,
             "base": deepcopy(self.base),
             "grid": deepcopy(self.grid),
             "seeds": list(self.seeds),
         }
+        if self.telemetry:
+            out["telemetry"] = deepcopy(self.telemetry)
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":

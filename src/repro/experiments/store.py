@@ -12,8 +12,12 @@ tolerates a torn final line.  Resume works off :meth:`completed_ids`: the
 campaign runner skips any cell whose id already has an ``ok`` record.
 
 The aggregation helpers reduce the per-cell metrics to per-group statistics
-(mean / p95 across seeds, by default) and render them through
-:func:`repro.analysis.tables.format_table`.
+(mean / p50 / p95 / p99 across seeds, by default) and render them through
+:func:`repro.analysis.tables.format_table`.  When telemetry or profiling is
+enabled for a campaign, the per-cell artifacts land next to the results::
+
+      telemetry/<id>.jsonl   # periodic cumulative telemetry snapshots
+      profiles/<id>.pstats   # cProfile dump (with --profile cprofile)
 """
 
 from __future__ import annotations
@@ -57,11 +61,15 @@ class ResultStore:
 
     RESULTS_FILE = "results.jsonl"
     TRACES_DIR = "traces"
+    TELEMETRY_DIR = "telemetry"
+    PROFILES_DIR = "profiles"
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.results_path = self.root / self.RESULTS_FILE
         self.traces_root = self.root / self.TRACES_DIR
+        self.telemetry_root = self.root / self.TELEMETRY_DIR
+        self.profiles_root = self.root / self.PROFILES_DIR
 
     # ------------------------------------------------------------------ #
     # Writing
@@ -127,6 +135,14 @@ class ResultStore:
     def trace_path(self, cell_id: str) -> Path:
         return self.traces_root / f"{cell_id}.json"
 
+    def telemetry_path(self, cell_id: str) -> Path:
+        """Where a cell's telemetry snapshots (JSONL) live, when collected."""
+        return self.telemetry_root / f"{cell_id}.jsonl"
+
+    def profile_path(self, cell_id: str) -> Path:
+        """Where a cell's cProfile pstats dump lives, when profiling ran."""
+        return self.profiles_root / f"{cell_id}.pstats"
+
     def load_trace(self, cell_id: str) -> TopologyTrace:
         """Load the recorded trace of a completed cell."""
         path = self.trace_path(cell_id)
@@ -144,24 +160,27 @@ class ResultStore:
         metrics: Sequence[str] = ("amortized_round_complexity",),
         records: Optional[Iterable[Mapping[str, Any]]] = None,
     ) -> Tuple[List[str], List[List[Any]]]:
-        """Reduce per-cell metrics to per-group mean / p95 statistics.
+        """Reduce per-cell metrics to per-group mean / percentile statistics.
 
         Args:
             group_by: spec fields (dotted paths allowed) defining the groups;
                 by default one group per (algorithm, adversary, n) -- i.e.
                 seeds are the replicates being averaged.
-            metrics: metric names to aggregate (dotted paths allowed).
+            metrics: metric names to aggregate (dotted paths allowed; bare
+                names also resolve top-level record keys such as
+                ``duration_s``).
             records: records to aggregate; defaults to the latest ``ok``
                 record of every stored cell.
 
         Returns:
             ``(headers, rows)`` ready for
             :func:`~repro.analysis.tables.format_table`, sorted by group key.
-            Next to each metric's mean / p95 a ``n <metric>`` column reports
-            how many of the group's cells actually carried the metric:
-            records with a missing or ``None`` value are excluded from the
-            statistics, and hiding that would let the ``cells`` column
-            overstate the coverage of a heterogeneous group.
+            Each metric contributes mean / p50 / p95 / p99 columns plus a
+            ``n <metric>`` column reporting how many of the group's cells
+            actually carried the metric: records with a missing or ``None``
+            value are excluded from the statistics, and hiding that would let
+            the ``cells`` column overstate the coverage of a heterogeneous
+            group.
         """
         if records is None:
             records = [r for r in self.latest().values() if r.get("status") == "ok"]
@@ -171,7 +190,13 @@ class ResultStore:
             groups.setdefault(key, []).append(record)
         headers = list(group_by) + ["cells"]
         for metric in metrics:
-            headers += [f"mean {metric}", f"p95 {metric}", f"n {metric}"]
+            headers += [
+                f"mean {metric}",
+                f"p50 {metric}",
+                f"p95 {metric}",
+                f"p99 {metric}",
+                f"n {metric}",
+            ]
         rows: List[List[Any]] = []
         def sort_key(key: Tuple) -> Tuple:
             # numbers sort numerically, everything else lexically, mixed
@@ -193,9 +218,15 @@ class ResultStore:
                     if v is not None
                 ]
                 if values:
-                    row += [sum(values) / len(values), percentile(values, 95), len(values)]
+                    row += [
+                        sum(values) / len(values),
+                        percentile(values, 50),
+                        percentile(values, 95),
+                        percentile(values, 99),
+                        len(values),
+                    ]
                 else:
-                    row += ["-", "-", 0]
+                    row += ["-", "-", "-", "-", 0]
             rows.append(row)
         return headers, rows
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..experiments.spec import ExperimentSpec
+from ..obs.telemetry import TELEMETRY
 from .corpus import CorpusEntry, CorpusStore
 from .generators import PROFILES
 from .shrink import ShrinkResult, Shrinker
@@ -235,7 +236,8 @@ def run_fuzz(
     )
     for index in range(config.budget):
         spec = config.cell_spec(index)
-        signature, _ = evaluate_spec(spec, config.modes)
+        with TELEMETRY.span("fuzz.schedule"):
+            signature, _ = evaluate_spec(spec, config.modes)
         record = {
             "cell_id": spec.cell_id,
             "algorithm": spec.algorithm,
@@ -262,7 +264,8 @@ def run_fuzz(
                 shrinker = Shrinker(
                     config.modes, max_candidates=config.max_shrink_candidates
                 )
-                failure.shrink = shrinker.shrink(failure.scripted, fresh)
+                with TELEMETRY.span("fuzz.shrink"):
+                    failure.shrink = shrinker.shrink(failure.scripted, fresh)
             if corpus is not None and fresh.is_failure:
                 reproducer = failure.reproducer
                 entry = CorpusEntry(
@@ -287,6 +290,17 @@ def run_fuzz(
                 if corpus.add(entry):
                     failure.corpus_id = entry.entry_id
             report.failures.append(failure)
+        if TELEMETRY.enabled:
+            # Heartbeat: long --budget runs tail the telemetry JSONL to see
+            # budget consumed, failures banked, and the latest signature.
+            TELEMETRY.count("fuzz.schedules")
+            if signature.is_failure:
+                TELEMETRY.count("fuzz.failures")
+            TELEMETRY.gauge("fuzz.budget_used", index + 1)
+            TELEMETRY.gauge("fuzz.budget_total", config.budget)
+            TELEMETRY.gauge("fuzz.failures_banked", len(report.failures))
+            TELEMETRY.gauge("fuzz.last_signature", signature.describe())
+            TELEMETRY.tick()
         if progress is not None:
             progress(record, index + 1, config.budget)
     return report

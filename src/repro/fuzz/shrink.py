@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..experiments.spec import ExperimentSpec
+from ..obs.telemetry import TELEMETRY
 from ..simulator.trace import TopologyTrace
 from .generators import build_fuzz_adversary
 from .signature import FailureSignature, evaluate_spec, trace_fingerprint
@@ -211,10 +212,14 @@ class Shrinker:
         key = trace_fingerprint(template.algorithm, n, rounds, drain=template.drain)
         if key in self._cache:
             self._cache_hits += 1
+            if TELEMETRY.enabled:
+                TELEMETRY.count("fuzz.shrink_cache_hits")
             return self._cache[key]
         if self._tried >= self.max_candidates:
             return False  # budget exhausted: stop accepting further reductions
         self._tried += 1
+        if TELEMETRY.enabled:
+            TELEMETRY.count("fuzz.shrink_candidates")
         signature, _ = evaluate_spec(self._spec_for(template, rounds, n), self.modes)
         verdict = signature.matches(target)
         self._cache[key] = verdict

@@ -27,8 +27,10 @@ Example::
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Set, Tuple
 
+from .obs.telemetry import TELEMETRY
 from .core import (
     CliqueMembershipNode,
     CliqueQuery,
@@ -148,15 +150,18 @@ class DynamicGraphMonitor:
         An empty update is allowed and simply gives the structures one more
         round to propagate earlier changes.
         """
-        self.engine.execute_round(RoundChanges.of(insert=insert, delete=delete))
+        with TELEMETRY.span("monitor.update"):
+            self.engine.execute_round(RoundChanges.of(insert=insert, delete=delete))
 
     def tick(self) -> None:
         """Run one quiet round (no topology changes)."""
-        self.engine.execute_quiet_round()
+        with TELEMETRY.span("monitor.tick"):
+            self.engine.execute_quiet_round()
 
     def settle(self, max_rounds: int = 10_000) -> int:
         """Run quiet rounds until every node is consistent; returns how many were needed."""
-        return self.engine.run_until_quiet(max_rounds=max_rounds)
+        with TELEMETRY.span("monitor.settle"):
+            return self.engine.run_until_quiet(max_rounds=max_rounds)
 
     # ------------------------------------------------------------------ #
     # Graph introspection
@@ -187,7 +192,18 @@ class DynamicGraphMonitor:
     # Queries (all answered by the queried node's local state only)
     # ------------------------------------------------------------------ #
     def _query(self, node: int, query) -> MonitorAnswer:
-        return MonitorAnswer.from_result(self.nodes[node].query(query))
+        # Per-query answer latency is the monitoring-service SLO quantity
+        # (p50/p95/p99 in the telemetry report), so it gets its own histogram
+        # rather than just a span.
+        if not TELEMETRY.enabled:
+            return MonitorAnswer.from_result(self.nodes[node].query(query))
+        start = perf_counter()
+        answer = MonitorAnswer.from_result(self.nodes[node].query(query))
+        TELEMETRY.observe("monitor.query_latency_s", perf_counter() - start)
+        TELEMETRY.count(
+            "monitor.queries_definite" if answer.definite else "monitor.queries_indefinite"
+        )
+        return answer
 
     def knows_edge(self, node: int, u: int, w: int) -> MonitorAnswer:
         """Does ``node`` currently know the edge ``{u, w}`` (robust-neighborhood query)?"""

@@ -1,0 +1,36 @@
+"""Observability: telemetry registry, sinks, progress rendering, reports.
+
+See :mod:`repro.obs.telemetry` for the zero-overhead-when-disabled design
+contract, :mod:`repro.obs.report` for snapshot merging, and the README's
+"Observability" section for end-to-end usage.
+"""
+
+from .logcfg import LOG_LEVELS, configure_logging
+from .progress import CampaignProgress, format_duration
+from .report import (
+    build_report,
+    format_report,
+    load_final_snapshot,
+    load_snapshots,
+    merge_snapshots,
+)
+from .sink import TelemetrySink
+from .telemetry import SIZE_BUCKETS, TELEMETRY, TIME_BUCKETS, Histogram, Telemetry
+
+__all__ = [
+    "Histogram",
+    "Telemetry",
+    "TELEMETRY",
+    "TIME_BUCKETS",
+    "SIZE_BUCKETS",
+    "TelemetrySink",
+    "CampaignProgress",
+    "format_duration",
+    "configure_logging",
+    "LOG_LEVELS",
+    "build_report",
+    "format_report",
+    "load_final_snapshot",
+    "load_snapshots",
+    "merge_snapshots",
+]

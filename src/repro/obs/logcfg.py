@@ -1,0 +1,57 @@
+"""Logging configuration for the ``repro.*`` logger hierarchy.
+
+Library modules obtain loggers with ``logging.getLogger(__name__)`` (all
+under the ``repro`` root) and never print; the CLI calls
+:func:`configure_logging` once at startup to attach a stderr handler at the
+requested level.  Keeping configuration here -- and out of library code --
+means embedding applications and the test-suite stay in control of handlers.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO
+
+__all__ = ["configure_logging", "LOG_LEVELS"]
+
+LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+
+def configure_logging(level: str = "warning", *, stream: Optional[TextIO] = None) -> logging.Logger:
+    """Attach a stderr handler to the ``repro`` root logger at ``level``.
+
+    Idempotent: reconfigures the existing handler instead of stacking a new
+    one on every call (the CLI dispatches through here once per invocation,
+    but tests may call it repeatedly).
+    """
+    level_name = level.lower()
+    if level_name not in LOG_LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of {', '.join(LOG_LEVELS)}"
+        )
+    root = logging.getLogger("repro")
+    root.setLevel(getattr(logging, level_name.upper()))
+    handler = None
+    for existing in root.handlers:
+        if getattr(existing, "_repro_cli_handler", False):
+            handler = existing
+            break
+    target = stream if stream is not None else sys.stderr
+    if handler is None:
+        handler = logging.StreamHandler(target)
+        handler._repro_cli_handler = True
+        handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+        root.addHandler(handler)
+    elif handler.stream is not target:
+        try:
+            handler.setStream(target)
+        except ValueError:
+            # The previous stream is already closed (pytest capture teardown
+            # swaps and closes stderr between tests); setStream's flush of it
+            # fails, but re-pointing the handler is still the right move.
+            handler.stream = target
+    # Propagation stays on: with our handler attached, logging's lastResort
+    # fallback never fires, and root-level handlers (pytest's caplog, an
+    # embedding application's own config) keep seeing repro.* records.
+    return root

@@ -1,0 +1,147 @@
+"""TTY-aware live progress rendering for campaign runs.
+
+:class:`CampaignProgress` receives per-cell start/finish events from the
+:class:`~repro.experiments.campaign.CampaignRunner` and renders them either as
+a single in-place status line (interactive terminals) or as plain one-line
+updates (pipes, CI logs).  It tracks cells done/total, a naive ETA
+(``elapsed / done * remaining``) and the slowest cell seen so far -- exactly
+the "is this sweep stuck, and on what?" questions a silent run cannot answer.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, Optional, TextIO
+
+__all__ = ["CampaignProgress", "format_duration"]
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration compactly: ``532ms``, ``4.2s``, ``3m12s``, ``2h05m``."""
+    if seconds < 0:
+        seconds = 0.0
+    if seconds < 1.0:
+        return f"{seconds * 1000:.0f}ms"
+    if seconds < 60.0:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class CampaignProgress:
+    """Renders campaign cell events to a stream.
+
+    Args:
+        total: number of cells the run will execute (after resume skips).
+        stream: output stream; defaults to stderr so progress never pollutes
+            piped table/JSON output on stdout.
+        interactive: force in-place (``\\r``) rendering on/off; by default it
+            follows ``stream.isatty()``.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        *,
+        stream: Optional[TextIO] = None,
+        interactive: Optional[bool] = None,
+    ) -> None:
+        self.total = total
+        self.stream = stream if stream is not None else sys.stderr
+        if interactive is None:
+            isatty = getattr(self.stream, "isatty", None)
+            interactive = bool(isatty()) if callable(isatty) else False
+        self.interactive = interactive
+        self.done = 0
+        self.failed = 0
+        self.running: Dict[str, float] = {}  # cell_id -> start perf_counter
+        self.slowest_cell: Optional[str] = None
+        self.slowest_duration = 0.0
+        self._started_at = time.perf_counter()
+        self._line_open = False
+
+    # ------------------------------------------------------------------ #
+    # Event sinks (wired to CampaignRunner callbacks)
+    # ------------------------------------------------------------------ #
+    def cell_started(self, cell_id: str) -> None:
+        self.running[cell_id] = time.perf_counter()
+        if self.interactive:
+            self._render_status()
+
+    def cell_finished(self, record: Dict[str, Any], done: int, total: int) -> None:
+        cell_id = record.get("cell_id", "?")
+        started = self.running.pop(cell_id, None)
+        duration = record.get("duration_s")
+        if duration is None and started is not None:
+            duration = time.perf_counter() - started
+        duration = float(duration) if duration is not None else 0.0
+        self.done = done
+        self.total = total
+        status = record.get("status", "?")
+        if status != "ok":
+            self.failed += 1
+        if duration > self.slowest_duration:
+            self.slowest_duration = duration
+            self.slowest_cell = cell_id
+        if self.interactive:
+            self._render_status()
+        else:
+            self._println(
+                f"[{done}/{total}] {cell_id} {status} in {format_duration(duration)}"
+                f"{self._eta_suffix()}"
+            )
+
+    def close(self) -> None:
+        """Finish rendering: clear the live line and print a summary."""
+        if self._line_open:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._line_open = False
+        elapsed = time.perf_counter() - self._started_at
+        summary = (
+            f"campaign: {self.done}/{self.total} cells in {format_duration(elapsed)}"
+        )
+        if self.failed:
+            summary += f", {self.failed} failed"
+        if self.slowest_cell is not None:
+            summary += (
+                f"; slowest {self.slowest_cell}"
+                f" ({format_duration(self.slowest_duration)})"
+            )
+        self._println(summary)
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+    def _eta_suffix(self) -> str:
+        if not self.done or self.done >= self.total:
+            return ""
+        elapsed = time.perf_counter() - self._started_at
+        eta = elapsed / self.done * (self.total - self.done)
+        return f" (eta {format_duration(eta)})"
+
+    def _render_status(self) -> None:
+        active = ", ".join(sorted(self.running)[:3])
+        if len(self.running) > 3:
+            active += f", +{len(self.running) - 3}"
+        line = f"[{self.done}/{self.total}]"
+        if active:
+            line += f" running: {active}"
+        if self.slowest_cell is not None:
+            line += f" | slowest {self.slowest_cell} {format_duration(self.slowest_duration)}"
+        line += self._eta_suffix()
+        # Pad with spaces so a shorter line fully overwrites a longer one.
+        self.stream.write("\r" + line.ljust(100)[:120])
+        self.stream.flush()
+        self._line_open = True
+
+    def _println(self, text: str) -> None:
+        if self._line_open:
+            self.stream.write("\r" + " " * 100 + "\r")
+            self._line_open = False
+        self.stream.write(text + "\n")
+        self.stream.flush()

@@ -1,0 +1,76 @@
+"""Periodic JSONL persistence of telemetry snapshots.
+
+A :class:`TelemetrySink` owns one append-only JSONL file (conventionally
+``<result store>/telemetry/<cell_id>.jsonl``) and writes cumulative
+:meth:`~repro.obs.telemetry.Telemetry.snapshot` lines into it: one line
+whenever at least ``interval_s`` has passed since the last flush (driven by
+:meth:`Telemetry.tick`, i.e. by round/schedule boundaries), plus one final
+``"final": true`` line when the run closes.  Snapshots are cumulative, so a
+reader only ever needs the *last* line of a file -- earlier lines exist to
+make long runs observable while they are still going (tail the file) and to
+survive crashes mid-cell.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import IO, Optional
+
+__all__ = ["TelemetrySink"]
+
+
+class TelemetrySink:
+    """Appends periodic telemetry snapshots to one JSONL file.
+
+    Args:
+        path: the JSONL file to append to (parent directories are created;
+            an existing file is truncated -- each run owns its file).
+        interval_s: minimum seconds between periodic flushes.  ``0`` flushes
+            on every tick (useful in tests); the default keeps file traffic
+            negligible next to simulation work.
+    """
+
+    def __init__(self, path: str | Path, *, interval_s: float = 1.0) -> None:
+        if interval_s < 0:
+            raise ValueError("interval_s must be non-negative")
+        self.path = Path(path)
+        self.interval_s = interval_s
+        self._handle: Optional[IO[str]] = None
+        self._last_flush = 0.0
+        self.lines_written = 0
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def _ensure_open(self) -> IO[str]:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("w")
+        return self._handle
+
+    def maybe_flush(self, telemetry) -> bool:
+        """Flush a snapshot if the periodic interval elapsed; returns whether
+        a line was written."""
+        now = time.monotonic()
+        if self.lines_written and now - self._last_flush < self.interval_s:
+            return False
+        self.flush(telemetry)
+        return True
+
+    def flush(self, telemetry, *, final: bool = False) -> None:
+        """Append one snapshot line immediately."""
+        handle = self._ensure_open()
+        handle.write(json.dumps(telemetry.snapshot(final=final)) + "\n")
+        handle.flush()
+        self._last_flush = time.monotonic()
+        self.lines_written += 1
+
+    def close(self, telemetry=None) -> None:
+        """Write the final snapshot (when given a telemetry) and close."""
+        if telemetry is not None:
+            self.flush(telemetry, final=True)
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

@@ -1,0 +1,335 @@
+"""Process-local telemetry: counters, gauges, histograms and span timers.
+
+The repo's headline numbers are *amortized* complexity bounds, but knowing
+where wall-clock time goes **inside** a round -- which stage dominates under
+which adversary, how large the active set really is, how often the oracle's
+dirty-region cache hits -- needs live instrumentation, not end-of-run
+aggregates.  This module provides it with one hard constraint, pinned by the
+test-suite: telemetry on or off must never perturb the simulation.  All
+collection is read-only bookkeeping (monotonic clocks, integer counters), so
+:class:`~repro.simulator.metrics.RoundRecord` streams, traces and state
+fingerprints are bit-identical either way.
+
+Design:
+
+* :class:`Telemetry` is a registry of **counters** (monotonic ints),
+  **gauges** (last-value-wins, any JSON value), fixed-bucket **histograms**
+  (:class:`Histogram`) and **spans** (named cumulative timers, nestable and
+  exception-safe via :meth:`Telemetry.span`).
+* :data:`TELEMETRY` is the module-level singleton every instrumented call
+  site reads.  It starts *disabled*; hot loops guard their instrumentation
+  with a single ``if TELEMETRY.enabled:`` attribute check, so the disabled
+  cost is one branch per call site and the enabled cost never leaks into the
+  simulation's observable behaviour.
+* :meth:`Telemetry.snapshot` renders everything as one JSON-ready dict; the
+  :class:`~repro.obs.sink.TelemetrySink` appends those snapshots as periodic
+  JSONL lines which ``repro-dynamic-subgraphs telemetry report`` merges into
+  hotspot tables.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Histogram",
+    "Telemetry",
+    "TELEMETRY",
+    "TIME_BUCKETS",
+    "SIZE_BUCKETS",
+]
+
+
+def _ladder(decades: Sequence[int], steps: Sequence[float]) -> Tuple[float, ...]:
+    return tuple(step * (10.0 ** d) for d in decades for step in steps)
+
+
+#: Default latency buckets (seconds): a 1-2-5 ladder from 1 microsecond to
+#: 100 s.  Fixed buckets keep snapshots mergeable across cells and processes.
+TIME_BUCKETS: Tuple[float, ...] = _ladder(range(-6, 3), (1.0, 2.0, 5.0))
+
+#: Default magnitude buckets (set sizes, fan-outs): powers of two up to 2^24.
+SIZE_BUCKETS: Tuple[float, ...] = tuple(float(2 ** k) for k in range(25))
+
+
+class Histogram:
+    """A fixed-bucket histogram with exact count/sum/min/max sidecars.
+
+    ``buckets`` are inclusive upper bounds in increasing order; one implicit
+    overflow bucket catches everything larger.  Percentiles are estimated by
+    linear interpolation inside the bucket where the requested rank falls
+    (the overflow bucket reports the exact observed maximum), which is the
+    standard Prometheus-style trade-off: mergeable and O(buckets) memory, at
+    the cost of bucket-resolution accuracy.
+    """
+
+    __slots__ = ("buckets", "counts", "count", "total", "min", "max")
+
+    def __init__(self, buckets: Sequence[float] = TIME_BUCKETS) -> None:
+        self.buckets: Tuple[float, ...] = tuple(float(b) for b in buckets)
+        if list(self.buckets) != sorted(set(self.buckets)):
+            raise ValueError("histogram buckets must be strictly increasing")
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        lo, hi = 0, len(self.buckets)
+        while lo < hi:  # leftmost bucket with bound >= value
+            mid = (lo + hi) // 2
+            if self.buckets[mid] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.counts[lo] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-th percentile (0..100) from the bucket counts."""
+        if not 0 <= q <= 100:
+            raise ValueError("q must be in [0, 100]")
+        if not self.count:
+            return 0.0
+        rank = (q / 100.0) * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            if not bucket_count:
+                continue
+            if cumulative + bucket_count >= rank:
+                if i >= len(self.buckets):  # overflow bucket: exact max
+                    return float(self.max)
+                lower = self.buckets[i - 1] if i > 0 else 0.0
+                upper = self.buckets[i]
+                frac = (rank - cumulative) / bucket_count
+                estimate = lower + (upper - lower) * frac
+                # Exact extremes beat bucket interpolation at the edges.
+                return min(max(estimate, float(self.min)), float(self.max))
+            cumulative += bucket_count
+        return float(self.max)
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram (bucket layouts must match)."""
+        if other.buckets != self.buckets:
+            raise ValueError("cannot merge histograms with different buckets")
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Histogram":
+        hist = cls(data["buckets"])
+        counts = [int(c) for c in data["counts"]]
+        if len(counts) != len(hist.counts):
+            raise ValueError("histogram counts do not match the bucket layout")
+        hist.counts = counts
+        hist.count = int(data["count"])
+        hist.total = float(data["sum"])
+        hist.min = None if data.get("min") is None else float(data["min"])
+        hist.max = None if data.get("max") is None else float(data["max"])
+        return hist
+
+
+class _SpanTimer:
+    """Context manager recording one timed section into its telemetry.
+
+    Exception-safe (the duration is recorded in ``__exit__`` regardless of
+    how the block ends) and nestable (each instance carries its own start
+    time, so overlapping spans of the same or different names never corrupt
+    each other).
+    """
+
+    __slots__ = ("_telemetry", "_name", "_start")
+
+    def __init__(self, telemetry: "Telemetry", name: str) -> None:
+        self._telemetry = telemetry
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_SpanTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        self._telemetry.record_span(self._name, time.perf_counter() - self._start)
+        return False
+
+
+class _NoopSpan:
+    """Shared do-nothing span handed out while telemetry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class Telemetry:
+    """A process-local registry of counters, gauges, histograms and spans.
+
+    Disabled by default: every mutating method returns immediately after one
+    ``enabled`` check, and :meth:`span` hands back a shared no-op context
+    manager, so instrumented call sites are safe to leave in hot loops.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.label: Optional[str] = None
+        self.sink = None  # duck-typed TelemetrySink (avoid an import cycle)
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, Any] = {}
+        self.spans: Dict[str, List[float]] = {}  # name -> [count, total_s, max_s]
+        self.histograms: Dict[str, Histogram] = {}
+        self.ticks = 0
+        self._enabled_at = 0.0
+        self._snapshot_seq = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def enable(self, *, sink=None, label: Optional[str] = None) -> None:
+        """Reset all state and start collecting (optionally into ``sink``)."""
+        self.reset()
+        self.enabled = True
+        self.sink = sink
+        self.label = label
+        self._enabled_at = time.perf_counter()
+
+    def disable(self) -> None:
+        """Stop collecting; flushes a final snapshot through the sink."""
+        if self.sink is not None:
+            self.sink.close(self)
+            self.sink = None
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop every collected value (does not touch ``enabled``/sink)."""
+        self.counters = {}
+        self.gauges = {}
+        self.spans = {}
+        self.histograms = {}
+        self.ticks = 0
+        self.label = None
+        self._enabled_at = time.perf_counter()
+        self._snapshot_seq = 0
+
+    @property
+    def elapsed_s(self) -> float:
+        return time.perf_counter() - self._enabled_at
+
+    # ------------------------------------------------------------------ #
+    # Collection
+    # ------------------------------------------------------------------ #
+    def count(self, name: str, value: int = 1) -> None:
+        if not self.enabled:
+            return
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: Any) -> None:
+        if not self.enabled:
+            return
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float, buckets: Sequence[float] = TIME_BUCKETS) -> None:
+        if not self.enabled:
+            return
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(buckets)
+        hist.observe(value)
+
+    def record_span(self, name: str, seconds: float) -> None:
+        """Accumulate one timed section (used by :meth:`span` and by hot
+        paths that time stages manually with ``perf_counter`` checkpoints)."""
+        if not self.enabled:
+            return
+        stat = self.spans.get(name)
+        if stat is None:
+            self.spans[name] = [1, seconds, seconds]
+        else:
+            stat[0] += 1
+            stat[1] += seconds
+            if seconds > stat[2]:
+                stat[2] = seconds
+
+    def span(self, name: str):
+        """A nestable, exception-safe ``with``-timer for section ``name``."""
+        if not self.enabled:
+            return _NOOP_SPAN
+        return _SpanTimer(self, name)
+
+    def tick(self) -> None:
+        """Mark an iteration boundary (a round, a fuzz schedule, ...).
+
+        Gives the sink a periodic opportunity to flush a snapshot without
+        the instrumented code knowing anything about sinks or files.
+        """
+        if not self.enabled:
+            return
+        self.ticks += 1
+        if self.sink is not None:
+            self.sink.maybe_flush(self)
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+    def snapshot(self, *, final: bool = False) -> Dict[str, Any]:
+        """Everything collected so far, as one JSON-ready dict."""
+        self._snapshot_seq += 1
+        return {
+            "label": self.label,
+            "seq": self._snapshot_seq,
+            "final": final,
+            "ts": time.time(),
+            "elapsed_s": self.elapsed_s,
+            "ticks": self.ticks,
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "spans": {
+                name: {"count": int(stat[0]), "total_s": stat[1], "max_s": stat[2]}
+                for name, stat in self.spans.items()
+            },
+            "histograms": {
+                name: hist.to_dict() for name, hist in self.histograms.items()
+            },
+        }
+
+
+#: The process-wide singleton every instrumented call site reads.  Starts
+#: disabled; the campaign runner / fuzz driver / tests enable it per run.
+TELEMETRY = Telemetry()

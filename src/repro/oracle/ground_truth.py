@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set
 
+from ..obs.telemetry import SIZE_BUCKETS, TELEMETRY
 from ..simulator.events import Edge
 from ..simulator.network import DynamicNetwork
 from . import robust_sets, subgraphs
@@ -189,6 +190,8 @@ class GroundTruthOracle:
         self._last_ball = ball
         self._reconstructed = None
         self._log.append(delta, self._live_edges, self._live_times)
+        if TELEMETRY.enabled:
+            TELEMETRY.observe("oracle.dirty_ball", len(ball), SIZE_BUCKETS)
 
     def _ball_distances(self, sources: Iterable[int]) -> Dict[int, int]:
         """Multi-source BFS distances up to ``R_MAX`` over the live adjacency."""
@@ -247,7 +250,8 @@ class GroundTruthOracle:
         cached = self._reconstructed
         if cached is not None and cached.round_index == round_index:
             return cached
-        edges, times = self._log.reconstruct(round_index)
+        with TELEMETRY.span("oracle.reconstruct"):
+            edges, times = self._log.reconstruct(round_index)
         snap = RoundSnapshot(round_index, frozenset(edges), times)
         self._reconstructed = snap
         return snap
@@ -283,7 +287,11 @@ class GroundTruthOracle:
     def _cached(self, key: tuple, node: int, depth: int, compute):
         entry = self._cache.get(key)
         if entry is not None and self._fresh(node, depth, entry[1]):
+            if TELEMETRY.enabled:
+                TELEMETRY.count("oracle.cache_hits")
             return entry[0]
+        if TELEMETRY.enabled:
+            TELEMETRY.count("oracle.cache_misses")
         value = compute()
         self._cache[key] = (value, self._version)
         return value

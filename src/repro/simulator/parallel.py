@@ -26,9 +26,11 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+from time import perf_counter
 from types import MappingProxyType
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..obs.telemetry import SIZE_BUCKETS, TELEMETRY
 from .bandwidth import BandwidthPolicy
 from .events import RoundChanges
 from .messages import Envelope
@@ -216,6 +218,13 @@ class ShardedRoundEngine:
         round_index = self.network.round_index + 1
         n = self.network.n
         sparse = self.mode == "sparse"
+        # Coordinator-side telemetry only: workers stay uninstrumented, so
+        # the spans measure the same stage boundaries as the serial engines
+        # (compute = react dispatch+gather, deliver = update dispatch+gather).
+        tel = TELEMETRY
+        tel_on = tel.enabled
+        if tel_on:
+            t_round = t0 = perf_counter()
         indications = self.network.apply_changes(round_index, changes)
 
         # React & send, per shard.  In sparse mode a shard participates only
@@ -230,6 +239,9 @@ class ShardedRoundEngine:
             not sparse or self._needs_react[idx] or bool(per_shard_indications[idx])
             for idx in range(len(self._shards))
         ]
+        if tel_on:
+            t1 = perf_counter()
+            tel.record_span("engine.indications", t1 - t0)
         for idx, (conn, shard_ind) in enumerate(zip(self._conns, per_shard_indications)):
             if reacting[idx]:
                 conn.send(("react", (round_index, shard_ind)))
@@ -241,6 +253,9 @@ class ShardedRoundEngine:
             if status != "ok":  # pragma: no cover - defensive
                 raise RuntimeError(outgoing)
             outgoing_all.update(outgoing)
+        if tel_on:
+            t2 = perf_counter()
+            tel.record_span("engine.compute", t2 - t1)
 
         # Route messages through the coordinator (validation + bandwidth).
         inboxes: Dict[int, Dict[int, Envelope]] = {}
@@ -259,6 +274,10 @@ class ShardedRoundEngine:
                     num_envelopes += 1
                     bits_sent += size
                     inboxes.setdefault(target, {})[sender] = envelope
+
+        if tel_on:
+            t3 = perf_counter()
+            tel.record_span("engine.route", t3 - t2)
 
         # Receive & update, per shard.  A shard that reacted must also update
         # (to drain its activity bookkeeping); one that only received messages
@@ -296,7 +315,7 @@ class ShardedRoundEngine:
                     became_inconsistent.append(v)
 
         self._last_inconsistent = sorted(self._inconsistent)
-        return self.metrics.record_round_delta(
+        record = self.metrics.record_round_delta(
             round_index=round_index,
             num_changes=len(changes),
             became_inconsistent=became_inconsistent,
@@ -304,6 +323,19 @@ class ShardedRoundEngine:
             num_envelopes=num_envelopes,
             bits_sent=bits_sent,
         )
+        if tel_on:
+            t4 = perf_counter()
+            tel.record_span("engine.deliver", t4 - t3)
+            tel.record_span("engine.round", t4 - t_round)
+            tel.count("engine.rounds")
+            tel.count("engine.envelopes", num_envelopes)
+            tel.count("engine.shards_reacting", sum(reacting))
+            tel.count("engine.quiescent_shard_skips", len(reacting) - sum(reacting))
+            tel.observe("engine.active_set", len(outgoing_all), SIZE_BUCKETS)
+            for inbox in inboxes.values():
+                tel.observe("engine.inbox_fanout", len(inbox), SIZE_BUCKETS)
+            tel.tick()
+        return record
 
     def execute_quiet_round(self) -> RoundRecord:
         """Run one round with no topology changes."""

@@ -36,9 +36,11 @@ Two schedulers implement the model:
 
 from __future__ import annotations
 
+from time import perf_counter
 from types import MappingProxyType
 from typing import Dict, List, Mapping, Optional, Set
 
+from ..obs.telemetry import SIZE_BUCKETS, TELEMETRY
 from .bandwidth import BandwidthPolicy
 from .events import RoundChanges
 from .messages import Envelope
@@ -103,9 +105,21 @@ class RoundEngine:
         """
         round_index = self.network.round_index + 1
         n = self.network.n
+        # Telemetry is pure read-only bookkeeping on the monotonic clock;
+        # caching the enabled flag keeps the disabled cost at one local bool
+        # check per stage and per node.  Stage timings use manual
+        # perf_counter checkpoints (not span()) because compute and route are
+        # interleaved in the send loop below.
+        tel = TELEMETRY
+        tel_on = tel.enabled
+        if tel_on:
+            t_round = t0 = perf_counter()
 
         # Stage 1: topology changes and local indications.
         indications = self.network.apply_changes(round_index, changes)
+        if tel_on:
+            t1 = perf_counter()
+            tel.record_span("engine.indications", t1 - t0)
 
         # Stage 2: react & send.  Inboxes are created lazily: only nodes that
         # actually receive something get a dict of their own.
@@ -115,9 +129,17 @@ class RoundEngine:
         for v, algo in self.nodes.items():
             ind = indications.get(v, NodeIndication.empty())
             algo.on_topology_change(round_index, ind.inserted, ind.deleted)
+        if tel_on:
+            t2 = perf_counter()
+            react_s = t2 - t1
 
+        compose_s = 0.0
         for v, algo in self.nodes.items():
+            if tel_on:
+                c0 = perf_counter()
             outgoing = algo.compose_messages(round_index)
+            if tel_on:
+                compose_s += perf_counter() - c0
             for target, envelope in outgoing.items():
                 if target == v:
                     raise MessageTargetError(f"node {v} attempted to message itself")
@@ -130,21 +152,41 @@ class RoundEngine:
                     num_envelopes += 1
                     bits_sent += size
                     inboxes.setdefault(target, {})[v] = envelope
+        if tel_on:
+            t3 = perf_counter()
+            # compute = every algorithm callback; route = validation, charging
+            # and inbox construction around them.
+            tel.record_span("engine.compute", react_s + compose_s)
+            tel.record_span("engine.route", (t3 - t2) - compose_s)
 
         # Stage 3: receive & update.
         for v, algo in self.nodes.items():
             algo.on_messages(round_index, inboxes.get(v, _EMPTY_INBOX))
+        if tel_on:
+            t4 = perf_counter()
+            tel.record_span("engine.deliver", t4 - t3)
 
         # Stage 4: query window -- record consistency.
         inconsistent = [v for v, algo in self.nodes.items() if not algo.is_consistent()]
         self._last_inconsistent = inconsistent
-        return self.metrics.record_round(
+        record = self.metrics.record_round(
             round_index=round_index,
             num_changes=len(changes),
             inconsistent_nodes=inconsistent,
             num_envelopes=num_envelopes,
             bits_sent=bits_sent,
         )
+        if tel_on:
+            t5 = perf_counter()
+            tel.record_span("engine.query", t5 - t4)
+            tel.record_span("engine.round", t5 - t_round)
+            tel.count("engine.rounds")
+            tel.count("engine.envelopes", num_envelopes)
+            tel.observe("engine.active_set", n, SIZE_BUCKETS)
+            for inbox in inboxes.values():
+                tel.observe("engine.inbox_fanout", len(inbox), SIZE_BUCKETS)
+            tel.tick()
+        return record
 
     def execute_quiet_round(self) -> RoundRecord:
         """Run one round with no topology changes."""
@@ -275,6 +317,10 @@ class SparseRoundEngine(RoundEngine):
         round_index = self.network.round_index + 1
         n = self.network.n
         nodes = self.nodes
+        tel = TELEMETRY
+        tel_on = tel.enabled
+        if tel_on:
+            t_round = t0 = perf_counter()
 
         # Stage 1: topology changes and local indications.
         indications = self.network.apply_changes(round_index, changes)
@@ -284,6 +330,9 @@ class SparseRoundEngine(RoundEngine):
         # order-sensitive failure (e.g. which bandwidth violation raises
         # first) is reproduced exactly.
         active = sorted(set(indications) | self._dirty | self._sent_last_round)
+        if tel_on:
+            t1 = perf_counter()
+            tel.record_span("engine.indications", t1 - t0)
 
         # Stage 2: react & send, active nodes only.
         inboxes: Dict[int, Dict[int, Envelope]] = {}
@@ -293,9 +342,17 @@ class SparseRoundEngine(RoundEngine):
         for v in active:
             ind = indications.get(v, NodeIndication.empty())
             nodes[v].on_topology_change(round_index, ind.inserted, ind.deleted)
+        if tel_on:
+            t2 = perf_counter()
+            react_s = t2 - t1
 
+        compose_s = 0.0
         for v in active:
+            if tel_on:
+                c0 = perf_counter()
             outgoing = nodes[v].compose_messages(round_index)
+            if tel_on:
+                compose_s += perf_counter() - c0
             for target, envelope in outgoing.items():
                 if target == v:
                     raise MessageTargetError(f"node {v} attempted to message itself")
@@ -309,6 +366,10 @@ class SparseRoundEngine(RoundEngine):
                     bits_sent += size
                     inboxes.setdefault(target, {})[v] = envelope
                     sent_now.add(v)
+        if tel_on:
+            t3 = perf_counter()
+            tel.record_span("engine.compute", react_s + compose_s)
+            tel.record_span("engine.route", (t3 - t2) - compose_s)
 
         # Stage 3: receive & update.  Message recipients join the active set
         # (a quiescent node can be woken only by an indication, handled above,
@@ -316,6 +377,9 @@ class SparseRoundEngine(RoundEngine):
         touched = sorted(set(active) | set(inboxes))
         for v in touched:
             nodes[v].on_messages(round_index, inboxes.get(v, _EMPTY_INBOX))
+        if tel_on:
+            t4 = perf_counter()
+            tel.record_span("engine.deliver", t4 - t3)
 
         # Stage 4: query window.  Only touched nodes can have flipped their
         # verdict; everyone else's cached verdict stands.
@@ -342,7 +406,7 @@ class SparseRoundEngine(RoundEngine):
         self._sent_last_round = sent_now
         self._last_touched = set(touched)
         self._last_inconsistent = sorted(inconsistent)
-        return self.metrics.record_round_delta(
+        record = self.metrics.record_round_delta(
             round_index=round_index,
             num_changes=len(changes),
             became_inconsistent=became_inconsistent,
@@ -350,6 +414,19 @@ class SparseRoundEngine(RoundEngine):
             num_envelopes=num_envelopes,
             bits_sent=bits_sent,
         )
+        if tel_on:
+            t5 = perf_counter()
+            tel.record_span("engine.query", t5 - t4)
+            tel.record_span("engine.round", t5 - t_round)
+            tel.count("engine.rounds")
+            tel.count("engine.envelopes", num_envelopes)
+            tel.count("engine.quiescent_skips", n - len(touched))
+            tel.observe("engine.active_set", len(active), SIZE_BUCKETS)
+            tel.observe("engine.touched_set", len(touched), SIZE_BUCKETS)
+            for inbox in inboxes.values():
+                tel.observe("engine.inbox_fanout", len(inbox), SIZE_BUCKETS)
+            tel.tick()
+        return record
 
     @property
     def last_active_nodes(self) -> Optional[Set[int]]:

@@ -33,6 +33,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..experiments.registry import ALGORITHMS, build_adversary
 from ..experiments.spec import CampaignSpec, ExperimentSpec
+from ..obs.telemetry import TELEMETRY
 from ..simulator.bandwidth import BandwidthPolicy
 from ..simulator.metrics import RoundRecord
 from ..simulator.parallel import ShardedRoundEngine
@@ -391,16 +392,22 @@ def run_differential(
     runs: Dict[str, ModeRun] = {}
     outcomes: Dict[str, CheckOutcome] = {}
     for mode in modes:
-        run, mode_outcomes = _run_mode(
-            spec, mode, check_names if mode == check_mode else ()
-        )
+        with TELEMETRY.span(f"differential.run.{mode}"):
+            run, mode_outcomes = _run_mode(
+                spec, mode, check_names if mode == check_mode else ()
+            )
         runs[mode] = run
         outcomes.update(mode_outcomes)
 
     reference = runs[modes[0]]
     divergences: List[Divergence] = []
-    for mode in modes[1:]:
-        divergences.extend(_compare(reference, runs[mode]))
+    with TELEMETRY.span("differential.compare"):
+        for mode in modes[1:]:
+            divergences.extend(_compare(reference, runs[mode]))
+    if TELEMETRY.enabled:
+        TELEMETRY.count("differential.cells")
+        if divergences:
+            TELEMETRY.count("differential.divergent_cells")
     return DifferentialReport(
         spec=spec,
         modes=modes,

@@ -414,7 +414,7 @@ class TestResumeValidation:
         assert report.num_skipped == 3
         assert {r["cell_id"] for r in report.records} == {victim}
 
-    def test_resume_warns_loudly_on_stderr(self, tmp_path, capsys):
+    def test_resume_warns_loudly_via_logging(self, tmp_path, caplog):
         campaign = _campaign()
         store = ResultStore(tmp_path / "store")
         CampaignRunner(campaign, store, jobs=1).run()
@@ -426,9 +426,10 @@ class TestResumeValidation:
                 record.pop("spec_hash")  # a record predating hash stamping
             legacy.append(record)
         with pytest.warns(RuntimeWarning):
-            report = CampaignRunner(campaign, legacy, jobs=1).run()
-        err = capsys.readouterr().err
-        assert victim.cell_id in err and "re-run" in err
+            with caplog.at_level("WARNING", logger="repro.experiments.campaign"):
+                report = CampaignRunner(campaign, legacy, jobs=1).run()
+        logged = "\n".join(r.getMessage() for r in caplog.records)
+        assert victim.cell_id in logged and "re-run" in logged
         assert report.num_skipped == 3 and report.num_run == 1
 
     def test_matching_hashes_resume_silently(self, tmp_path, recwarn):

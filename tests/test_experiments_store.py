@@ -114,7 +114,7 @@ class TestTraces:
 
 
 class TestAggregation:
-    def test_mean_and_p95_per_group(self, tmp_path):
+    def test_mean_and_percentiles_per_group(self, tmp_path):
         store = ResultStore(tmp_path / "s")
         for seed, value in enumerate([1.0, 2.0, 3.0]):
             store.append(_record(f"a{seed}", n=16, seed=seed, amortized=value))
@@ -124,14 +124,18 @@ class TestAggregation:
             "n",
             "cells",
             "mean amortized_round_complexity",
+            "p50 amortized_round_complexity",
             "p95 amortized_round_complexity",
+            "p99 amortized_round_complexity",
             "n amortized_round_complexity",
         ]
         by_n = {row[0]: row for row in rows}
         assert by_n[16][1] == 3
         assert by_n[16][2] == pytest.approx(2.0)
-        assert by_n[16][3] == pytest.approx(percentile([1.0, 2.0, 3.0], 95))
-        assert by_n[16][4] == 3  # every cell carried the metric
+        assert by_n[16][3] == pytest.approx(2.0)  # p50
+        assert by_n[16][4] == pytest.approx(percentile([1.0, 2.0, 3.0], 95))
+        assert by_n[16][5] == pytest.approx(percentile([1.0, 2.0, 3.0], 99))
+        assert by_n[16][6] == 3  # every cell carried the metric
         assert by_n[32][2] == pytest.approx(10.0)
 
     def test_error_cells_excluded(self, tmp_path):
@@ -145,7 +149,7 @@ class TestAggregation:
         store = ResultStore(tmp_path / "s")
         store.append(_record("a"))
         _, rows = store.aggregate(group_by=("n",), metrics=("no_such_metric",))
-        assert rows[0][2:] == ["-", "-", 0]
+        assert rows[0][2:] == ["-", "-", "-", "-", 0]
 
     def test_heterogeneous_records_surface_with_metric_count(self, tmp_path):
         """`cells` counts group members; `n <metric>` counts values averaged.

@@ -1,0 +1,106 @@
+"""Tests for live campaign progress rendering and logging configuration."""
+
+from __future__ import annotations
+
+import io
+import logging
+
+import pytest
+
+from repro.obs import CampaignProgress, configure_logging, format_duration
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (0.532, "532ms"),
+            (0.0, "0ms"),
+            (-3.0, "0ms"),
+            (4.2, "4.2s"),
+            (59.9, "59.9s"),
+            (192.0, "3m12s"),
+            (7500.0, "2h05m"),
+        ],
+    )
+    def test_cases(self, seconds, expected):
+        assert format_duration(seconds) == expected
+
+
+def _record(cell_id, status="ok", duration=1.5):
+    return {"cell_id": cell_id, "status": status, "duration_s": duration}
+
+
+class TestNonInteractive:
+    def test_plain_lines_and_summary(self):
+        stream = io.StringIO()
+        progress = CampaignProgress(2, stream=stream, interactive=False)
+        progress.cell_started("a")
+        progress.cell_finished(_record("a", duration=2.0), 1, 2)
+        progress.cell_started("b")
+        progress.cell_finished(_record("b", duration=0.5), 2, 2)
+        progress.close()
+        lines = stream.getvalue().splitlines()
+        assert lines[0].startswith("[1/2] a ok in 2.0s")
+        assert "(eta" in lines[0]  # one of two cells done -> ETA shown
+        assert lines[1].startswith("[2/2] b ok in 500ms")
+        assert "campaign: 2/2 cells" in lines[-1]
+        assert "slowest a (2.0s)" in lines[-1]
+
+    def test_failures_counted_in_summary(self):
+        stream = io.StringIO()
+        progress = CampaignProgress(1, stream=stream, interactive=False)
+        progress.cell_started("bad")
+        progress.cell_finished(_record("bad", status="error"), 1, 1)
+        progress.close()
+        assert "1 failed" in stream.getvalue()
+
+    def test_total_follows_runner_updates(self):
+        # The runner reports total=len(pending), which resume can shrink
+        # below the constructor's cell count; the rendered totals follow.
+        stream = io.StringIO()
+        progress = CampaignProgress(10, stream=stream, interactive=False)
+        progress.cell_finished(_record("a"), 1, 3)
+        assert "[1/3]" in stream.getvalue()
+
+
+class TestInteractive:
+    def test_in_place_rendering_and_close(self):
+        stream = io.StringIO()
+        progress = CampaignProgress(2, stream=stream, interactive=True)
+        progress.cell_started("cell-1")
+        progress.cell_finished(_record("cell-1"), 1, 2)
+        progress.close()
+        output = stream.getvalue()
+        assert "\r" in output  # status line rewrites in place
+        assert "campaign: 1/2 cells" in output.splitlines()[-1]
+        assert "running: cell-1" in output
+
+    def test_defaults_to_non_interactive_on_pipes(self):
+        progress = CampaignProgress(1, stream=io.StringIO())
+        assert progress.interactive is False
+
+
+class TestConfigureLogging:
+    def test_attaches_one_handler_idempotently(self):
+        logger = configure_logging("info")
+        again = configure_logging("debug")
+        assert logger is again
+        cli_handlers = [
+            h for h in logger.handlers if getattr(h, "_repro_cli_handler", False)
+        ]
+        assert len(cli_handlers) == 1
+        assert logger.level == logging.DEBUG
+
+    def test_stream_redirect(self):
+        stream = io.StringIO()
+        logger = configure_logging("warning", stream=stream)
+        logging.getLogger("repro.test_obs_progress").warning("hello there")
+        assert "hello there" in stream.getvalue()
+        assert "WARNING" in stream.getvalue()
+        # Propagation stays on so pytest's caplog / root handlers still work.
+        assert logger.propagate is True
+
+    def test_rejects_unknown_level(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging("loud")

@@ -1,0 +1,244 @@
+"""Tests for snapshot merging, the hotspot report and the telemetry CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_telemetry_parser, main
+from repro.obs import (
+    Histogram,
+    build_report,
+    format_report,
+    load_snapshots,
+    merge_snapshots,
+)
+
+
+def _snapshot(label, *, counters=None, spans=None, histograms=None, gauges=None,
+              ticks=1, elapsed=1.0, final=True):
+    return {
+        "label": label,
+        "seq": 1,
+        "final": final,
+        "ts": 0.0,
+        "elapsed_s": elapsed,
+        "ticks": ticks,
+        "counters": counters or {},
+        "gauges": gauges or {},
+        "spans": spans or {},
+        "histograms": histograms or {},
+    }
+
+
+def _hist_dict(values, buckets=(1.0, 10.0, 100.0)):
+    hist = Histogram(buckets)
+    for value in values:
+        hist.observe(value)
+    return hist.to_dict()
+
+
+def _write(root, name, *lines):
+    root.mkdir(parents=True, exist_ok=True)
+    (root / f"{name}.jsonl").write_text(
+        "".join(json.dumps(line) + "\n" for line in lines)
+    )
+
+
+class TestMergeSnapshots:
+    def test_counters_and_spans_sum_across_cells(self):
+        merged = merge_snapshots([
+            _snapshot("a", counters={"engine.rounds": 10},
+                      spans={"engine.round": {"count": 10, "total_s": 1.0, "max_s": 0.2}}),
+            _snapshot("b", counters={"engine.rounds": 5, "oracle.cache_hits": 3},
+                      spans={"engine.round": {"count": 5, "total_s": 0.5, "max_s": 0.4}}),
+        ])
+        assert merged["cells"] == 2
+        assert merged["counters"] == {"engine.rounds": 15, "oracle.cache_hits": 3}
+        span = merged["spans"]["engine.round"]
+        assert span["count"] == 15
+        assert span["total_s"] == pytest.approx(1.5)
+        assert span["max_s"] == pytest.approx(0.4)
+
+    def test_histograms_merge_bucket_wise(self):
+        merged = merge_snapshots([
+            _snapshot("a", histograms={"sizes": _hist_dict([0.5, 5.0])}),
+            _snapshot("b", histograms={"sizes": _hist_dict([50.0])}),
+        ])
+        hist = merged["histograms"]["sizes"]
+        assert hist.count == 3
+        assert hist.max == 50.0
+
+    def test_empty_input(self):
+        merged = merge_snapshots([])
+        assert merged["cells"] == 0 and merged["counters"] == {}
+
+
+class TestLoadSnapshots:
+    def test_last_line_per_file_wins(self, tmp_path):
+        _write(
+            tmp_path, "cell-a",
+            _snapshot("cell-a", counters={"c": 1}, final=False),
+            _snapshot("cell-a", counters={"c": 9}),
+        )
+        snaps = load_snapshots(tmp_path)
+        assert list(snaps) == ["cell-a"]
+        assert snaps["cell-a"]["counters"] == {"c": 9}
+
+    def test_missing_root_is_empty(self, tmp_path):
+        assert load_snapshots(tmp_path / "nope") == {}
+
+
+class TestBuildAndFormatReport:
+    @pytest.fixture
+    def root(self, tmp_path):
+        _write(
+            tmp_path / "t", "cell-a",
+            _snapshot(
+                "cell-a",
+                counters={"engine.rounds": 30, "engine.envelopes": 120},
+                spans={
+                    "engine.round": {"count": 30, "total_s": 3.0, "max_s": 0.3},
+                    "engine.compute": {"count": 30, "total_s": 2.0, "max_s": 0.2},
+                    "engine.route": {"count": 30, "total_s": 0.5, "max_s": 0.05},
+                },
+                histograms={"engine.active_set": _hist_dict([2.0, 4.0, 8.0])},
+            ),
+        )
+        _write(
+            tmp_path / "t", "cell-b",
+            _snapshot(
+                "cell-b",
+                counters={"engine.rounds": 10},
+                spans={"engine.round": {"count": 10, "total_s": 1.0, "max_s": 0.1}},
+            ),
+        )
+        return tmp_path / "t"
+
+    def test_hotspots_ranked_by_cumulative_time(self, root):
+        report = build_report(root)
+        assert report["cells"] == ["cell-a", "cell-b"]
+        assert [row["span"] for row in report["hotspots"]] == [
+            "engine.round", "engine.compute", "engine.route",
+        ]
+        assert report["hotspots"][0]["total_s"] == pytest.approx(4.0)
+        assert report["counters"]["engine.rounds"] == 40
+
+    def test_top_limits_hotspot_rows(self, root):
+        report = build_report(root, top=1)
+        assert len(report["hotspots"]) == 1
+        assert report["hotspots"][0]["span"] == "engine.round"
+
+    def test_report_is_json_serializable(self, root):
+        json.dumps(build_report(root))
+
+    def test_format_report_golden(self, root):
+        text = format_report(build_report(root))
+        lines = text.splitlines()
+        assert lines[0] == "telemetry report: 2 cell(s), 2 tick(s), 2.00s instrumented"
+        assert "hotspots (top spans by cumulative time)" in text
+        # Rank order and formatted durations appear in the table body.
+        round_row = next(l for l in lines if l.startswith("engine.round"))
+        assert "40" in round_row and "4.000s" in round_row
+        hist_row = next(l for l in lines if l.startswith("engine.active_set"))
+        assert hist_row.split()[1] == "3"  # count column
+        assert "counters" in text and "engine.envelopes" in text
+
+    def test_format_report_empty(self):
+        text = format_report(build_report("does-not-exist"))
+        assert "(no telemetry snapshots found)" in text
+
+
+class TestTelemetryCli:
+    def test_parser_defaults(self, tmp_path):
+        args = build_telemetry_parser().parse_args(
+            ["report", "--store", str(tmp_path)]
+        )
+        assert args.command == "report" and args.top == 20
+
+    @pytest.fixture
+    def campaign_store(self, tmp_path):
+        spec = {
+            "name": "obs-cli",
+            "base": {
+                "algorithm": "triangle",
+                "adversary": "churn",
+                "rounds": 20,
+                "adversary_params": {"inserts_per_round": 2, "deletes_per_round": 1},
+            },
+            "grid": {"n": [10]},
+            "seeds": [0, 1],
+        }
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec))
+        store = tmp_path / "store"
+        code = main(
+            ["campaign", "--spec", str(spec_path), "--out", str(store),
+             "--telemetry", "--telemetry-interval", "0"]
+        )
+        assert code == 0
+        return store
+
+    def test_report_over_campaign_store(self, campaign_store, capsys):
+        code = main(["telemetry", "report", "--store", str(campaign_store)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "telemetry report: 2 cell(s)" in out
+        assert "engine.round" in out and "engine.compute" in out
+
+    def test_json_output(self, campaign_store, tmp_path, capsys):
+        json_path = tmp_path / "report.json"
+        code = main(
+            ["telemetry", "report", "--store", str(campaign_store),
+             "--json", str(json_path)]
+        )
+        assert code == 0
+        report = json.loads(json_path.read_text())
+        assert len(report["cells"]) == 2
+        assert any(row["span"] == "engine.round" for row in report["hotspots"])
+        assert all(
+            row["total_s"] > 0 for row in report["hotspots"]
+            if row["span"] == "engine.round"
+        )
+
+    def test_missing_store_errors(self, tmp_path, capsys):
+        code = main(["telemetry", "report", "--store", str(tmp_path / "nope")])
+        assert code == 2
+        assert "no telemetry" in capsys.readouterr().err
+
+    def test_store_without_snapshots_errors(self, tmp_path, capsys):
+        code = main(["telemetry", "report", "--store", str(tmp_path)])
+        assert code == 2
+        assert "telemetry" in capsys.readouterr().err
+
+    def test_campaign_without_flag_collects_nothing(self, tmp_path, capsys):
+        spec = {
+            "name": "obs-off",
+            "base": {"algorithm": "triangle", "adversary": "churn", "rounds": 10},
+            "grid": {"n": [10]},
+        }
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec))
+        store = tmp_path / "store"
+        assert main(["campaign", "--spec", str(spec_path), "--out", str(store)]) == 0
+        capsys.readouterr()
+        assert not (store / "telemetry").exists()
+
+
+class TestFuzzTelemetry:
+    def test_fuzz_heartbeat_file(self, tmp_path, capsys):
+        out = tmp_path / "fuzz-telemetry.jsonl"
+        code = main(
+            ["fuzz", "--budget", "3", "--seed", "1", "--nodes", "6",
+             "--schedule-rounds", "10", "--telemetry-out", str(out)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        from repro.obs import load_final_snapshot
+
+        snap = load_final_snapshot(out)
+        assert snap["final"] is True
+        assert snap["counters"]["fuzz.schedules"] == 3
+        assert snap["gauges"]["fuzz.budget_used"] == 3
+        assert "fuzz.schedule" in snap["spans"]
