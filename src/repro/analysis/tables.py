@@ -82,7 +82,10 @@ def load_results_jsonl(path: str | Path) -> List[Dict[str, Any]]:
     ``path`` may be the store's root directory or the ``results.jsonl`` file
     itself.  Mirrors the store's own tolerance rules: blank and undecodable
     lines (torn final appends) are skipped, as are records without a
-    ``cell_id``.
+    ``cell_id``.  The file is split at the *byte* level because a worker
+    killed mid-write can tear a line inside a multi-byte UTF-8 sequence --
+    decoding the whole file at once would raise and take every intact
+    record down with the torn tail.
     """
     path = Path(path)
     if path.is_dir():
@@ -90,12 +93,12 @@ def load_results_jsonl(path: str | Path) -> List[Dict[str, Any]]:
     if not path.exists():
         return []
     records: List[Dict[str, Any]] = []
-    for line in path.read_text().splitlines():
-        if not line.strip():
+    for raw in path.read_bytes().split(b"\n"):
+        if not raw.strip():
             continue
         try:
-            record = json.loads(line)
-        except json.JSONDecodeError:
+            record = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
             continue
         if isinstance(record, dict) and "cell_id" in record:
             records.append(record)

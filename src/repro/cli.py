@@ -318,6 +318,37 @@ def build_campaign_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress the live per-cell progress rendering on stderr",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry a cell up to N times after an infrastructure failure "
+        "(worker death, timeout); a cell that exhausts its retries is "
+        "recorded as quarantined instead of hanging the campaign",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per cell attempt; past it the worker is "
+        "killed and the cell retried (or quarantined)",
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="base delay before re-dispatching a failed cell, doubled per "
+        "attempt with deterministic jitter (default: 1s)",
+    )
+    parser.add_argument(
+        "--allow-quarantined",
+        action="store_true",
+        help="exit 0 even when cells were quarantined, as long as every "
+        "other cell succeeded (the quarantined ids are still printed)",
+    )
     _add_log_level(parser)
     return parser
 
@@ -340,14 +371,21 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
 
     out = args.out if args.out is not None else Path("campaigns") / campaign.name
     store = ResultStore(out)
-    runner = CampaignRunner(
-        campaign,
-        store,
-        jobs=args.jobs,
-        telemetry=args.telemetry,
-        telemetry_interval_s=args.telemetry_interval,
-        profile=args.profile,
-    )
+    try:
+        runner = CampaignRunner(
+            campaign,
+            store,
+            jobs=args.jobs,
+            telemetry=args.telemetry,
+            telemetry_interval_s=args.telemetry_interval,
+            profile=args.profile,
+            max_retries=args.retries,
+            cell_timeout_s=args.cell_timeout,
+            retry_backoff_s=args.retry_backoff,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     # Live progress renders on stderr so stdout stays clean for the
     # summary/aggregate tables (pipeable, diffable).
@@ -361,15 +399,28 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
     )
     if live is not None:
         live.close()
+    quarantined = report.quarantined
     print(
         f"ran {report.num_run} cells, skipped {report.num_skipped} already-complete, "
         f"{len(report.failed)} failed"
+        + (f" ({len(quarantined)} quarantined)" if quarantined else "")
     )
+    if any(report.counters.values()):
+        supervision = ", ".join(
+            f"{name.split('.', 1)[1]}={value}"
+            for name, value in sorted(report.counters.items())
+            if value
+        )
+        print(f"supervision: {supervision}")
     group_by = [part.strip() for part in args.group_by.split(",") if part.strip()]
     metrics = [part.strip() for part in args.metrics.split(",") if part.strip()]
     print(store.format_aggregate(group_by=group_by, metrics=metrics))
-    if report.failed:
-        first = report.failed[0]
+    if quarantined:
+        ids = ", ".join(record["cell_id"] for record in quarantined[:5])
+        print(f"\nquarantined cell(s): {ids}", file=sys.stderr)
+    hard_failures = [r for r in report.failed if r.get("status") != "quarantined"]
+    if hard_failures or (quarantined and not args.allow_quarantined):
+        first = (hard_failures or quarantined)[0]
         print(f"\nfirst failure ({first['cell_id']}):\n{first['error']}", file=sys.stderr)
         return 1
     # Check violations do not error a cell (its metrics are still valid data)
@@ -548,6 +599,12 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
         "it was recorded with",
     )
     parser.add_argument(
+        "--faults",
+        default="",
+        help="comma-separated fault-model axis cycled across cells "
+        "(e.g. 'none,uniform_loss,crash'); empty fuzzes fault-free",
+    )
+    parser.add_argument(
         "--inject-bug",
         choices=sorted(INJECTED_BUGS),
         default=None,
@@ -616,6 +673,9 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
                 modes=modes,
                 shrink=args.shrink,
                 max_shrink_candidates=args.max_shrink_candidates,
+                faults=tuple(
+                    part.strip() for part in args.faults.split(",") if part.strip()
+                ),
             )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -3,15 +3,24 @@
 :func:`run_cell` executes one :class:`~repro.experiments.spec.ExperimentSpec`
 (serial or sharded engine) and returns its metrics plus the realized
 :class:`~repro.simulator.trace.TopologyTrace`.  :class:`CampaignRunner`
-expands a :class:`~repro.experiments.spec.CampaignSpec`, shards the pending
-cells across persistent worker processes (the same process-and-pipe idiom as
-:class:`~repro.simulator.parallel.ShardedRoundEngine`, reusing its
-:func:`~repro.simulator.parallel.shard_nodes` partitioner) and streams every
+expands a :class:`~repro.experiments.spec.CampaignSpec`, dispatches the
+pending cells one at a time to persistent worker processes (the same
+process-and-pipe idiom as
+:class:`~repro.simulator.parallel.ShardedRoundEngine`) and streams every
 finished cell straight into a :class:`~repro.experiments.store.ResultStore`.
+
+The dispatch pool is *supervised*: a worker that dies mid-cell (OOM kill,
+segfault, ``kill -9``) is detected the moment its pipe closes, the cell is
+retried with exponential backoff (when retries are configured) and the
+worker is respawned; a cell that exceeds its wall-clock timeout has its
+worker killed and is treated the same way.  A cell that keeps failing is
+*quarantined* -- recorded with ``status == "quarantined"`` -- so a campaign
+always completes and reports every cell instead of hanging or dying with
+the worker.
 
 Because records are persisted as they land, a campaign can be interrupted at
 any point and re-run: cells whose id already has an ``ok`` record are skipped
-(resume), while failed cells are retried.
+(resume), while failed and quarantined cells are retried.
 """
 
 from __future__ import annotations
@@ -21,18 +30,21 @@ import hashlib
 import json
 import logging
 import multiprocessing as mp
+import threading
 import time
 import traceback
 import warnings
+from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as connection_wait
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
-from ..obs.sink import TelemetrySink
+from ..faults.models import build_fault_plan
+from ..obs.sink import TelemetrySink, write_supervision_snapshot
 from ..obs.telemetry import TELEMETRY
 from ..simulator.bandwidth import BandwidthPolicy
-from ..simulator.parallel import ShardedRoundEngine, shard_nodes
+from ..simulator.parallel import ShardedRoundEngine
 from ..simulator.runner import drive_engine
 from ..simulator.trace import TopologyTrace, TraceRecordingAdversary
 from .registry import ALGORITHMS, build_adversary
@@ -109,6 +121,11 @@ def _run_cell_full(
     )
     metrics = result.summary()
     metrics["final_edges"] = float(result.network.num_edges)
+    if result.faults is not None:
+        # Fault schedules are pure functions of (seed, model, round, ids), so
+        # these counts are part of the cell's deterministic signature: the
+        # differential harness gates them bit-identical across engines.
+        metrics.update({key: float(v) for key, v in result.faults.stats.items()})
     for outcome in outcomes.values():
         metrics.update(outcome.metrics)
     if spec.checks:
@@ -127,6 +144,16 @@ def _run_cell_full(
 def _run_sharded(
     spec, adversary
 ) -> Tuple[Dict[str, float], Optional[TopologyTrace], str]:
+    faults = build_fault_plan(
+        spec.faults, n=spec.n, seed=spec.seed, params=spec.fault_params
+    )
+    if faults is not None and faults.affects_topology:
+        # Same wrap order as SimulationRunner: the overlay masks the logical
+        # schedule, and trace recording (below) wraps *outside* it so the
+        # recorded trace is the physical post-fault schedule.
+        from ..faults.overlay import FaultOverlayAdversary
+
+        adversary = FaultOverlayAdversary(adversary, spec.n, faults)
     if spec.record_trace:
         adversary = TraceRecordingAdversary(adversary, spec.n)
     bandwidth = BandwidthPolicy(factor=spec.bandwidth_factor, strict=spec.strict_bandwidth)
@@ -136,12 +163,15 @@ def _run_sharded(
         num_workers=spec.num_workers,
         bandwidth=bandwidth,
         mode=spec.engine_mode,
+        faults=faults,
     ) as engine:
         drive_engine(engine, adversary, num_rounds=spec.rounds, drain=spec.drain)
         metrics = dict(engine.metrics.summary())
         for key, value in engine.bandwidth.summary(spec.n).items():
             metrics[f"bandwidth_{key}"] = float(value)
         metrics["final_edges"] = float(engine.network.num_edges)
+        if faults is not None:
+            metrics.update({key: float(v) for key, v in faults.stats.items()})
         fingerprint = _combined_fingerprint(engine.state_fingerprints())
     trace = adversary.trace if isinstance(adversary, TraceRecordingAdversary) else None
     return metrics, trace, fingerprint
@@ -214,38 +244,118 @@ def execute_cell(
     return record, (trace.to_dict() if trace is not None else None)
 
 
+def _heartbeat_loop(conn, lock, cell_id: str, interval_s: float, stop) -> None:
+    """Worker-side liveness beacon: ``("hb", cell_id, ts)`` while a cell runs.
+
+    Runs on a daemon thread so a cell stalled in pure-Python code still
+    beats; a coordinator watching the pipe can therefore tell a *slow* cell
+    (beating, let the timeout decide) from a *dead* worker (pipe closed).
+    """
+    while not stop.wait(interval_s):
+        try:
+            with lock:
+                conn.send(("hb", cell_id, time.time()))
+        except OSError:  # coordinator went away; the worker is about to exit
+            return
+
+
 def _campaign_worker(
     conn,
-    spec_dicts: List[Dict[str, Any]],
     obs: Optional[Mapping[str, Any]] = None,
+    heartbeat_interval_s: Optional[float] = None,
 ) -> None:
-    """Worker process: run a shard of cells, streaming each result back.
+    """Worker process: run cells streamed over the pipe, one at a time.
 
-    ``obs`` carries the runner's observability settings (telemetry/profiler
-    directories and cadence) as a plain picklable dict.  A ``("start",
-    cell_id, None)`` message precedes every cell so the coordinator can
-    render live progress (which cells are running right now, not just which
-    finished).
+    The coordinator sends ``("run", spec_dict)`` messages and finally
+    ``("stop",)``; the worker answers each cell with ``("start", cell_id,
+    None)`` (so live progress can show what is running), optional ``("hb",
+    cell_id, ts)`` heartbeats, and ``("cell", record, trace_dict)``.  ``obs``
+    carries the runner's observability settings (telemetry/profiler
+    directories and cadence) as a plain picklable dict.  Dispatching one
+    cell per message -- instead of pre-splitting the grid into static
+    shards -- is what makes supervision possible: a dead or killed worker
+    takes down exactly the cell it was running, and the rest of the grid
+    reflows onto the surviving (or respawned) workers.
     """
     obs = dict(obs or {})
+    lock = threading.Lock()  # heartbeats and results share one pipe
     try:
-        for spec_dict in spec_dicts:
-            spec = ExperimentSpec.from_dict(spec_dict)
-            conn.send(("start", spec.cell_id, None))
-            record, trace_dict = execute_cell(spec, **obs)
-            conn.send(("cell", record, trace_dict))
-        conn.send(("done", None, None))
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                break
+            if message[0] == "stop":
+                try:
+                    conn.send(("done", None, None))
+                except OSError:  # coordinator already hung up; that's fine
+                    pass
+                break
+            spec = ExperimentSpec.from_dict(message[1])
+            with lock:
+                conn.send(("start", spec.cell_id, None))
+            stop_beat = heartbeat = None
+            if heartbeat_interval_s:
+                stop_beat = threading.Event()
+                heartbeat = threading.Thread(
+                    target=_heartbeat_loop,
+                    args=(conn, lock, spec.cell_id, heartbeat_interval_s, stop_beat),
+                    daemon=True,
+                )
+                heartbeat.start()
+            try:
+                record, trace_dict = execute_cell(spec, **obs)
+            finally:
+                if stop_beat is not None:
+                    stop_beat.set()
+                    heartbeat.join()
+            with lock:
+                conn.send(("cell", record, trace_dict))
     finally:
         conn.close()
 
 
+def _retry_jitter(cell_id: str, attempt: int) -> float:
+    """Deterministic backoff jitter factor in ``[1.0, 2.0)``.
+
+    Seeded from (cell id, attempt) via blake2b -- never ``random`` -- so a
+    re-run of the same failing campaign reproduces the same retry timeline.
+    """
+    digest = hashlib.blake2b(
+        f"{cell_id}\x1f{attempt}".encode(), digest_size=8
+    ).digest()
+    return 1.0 + int.from_bytes(digest, "big") / 2**64
+
+
+@dataclass
+class _Worker:
+    """Coordinator-side handle for one pool process."""
+
+    proc: Any
+    conn: Any
+    spec: Optional[ExperimentSpec] = None  # cell in flight, if any
+    attempt: int = 0  # prior failures of that cell
+    deadline: Optional[float] = None  # monotonic wall-clock cutoff
+    last_heartbeat: Optional[float] = None
+
+    @property
+    def busy(self) -> bool:
+        return self.spec is not None
+
+
 @dataclass
 class CampaignReport:
-    """What a campaign run did: new records, skipped cells, failures."""
+    """What a campaign run did: new records, skipped cells, failures.
+
+    ``counters`` carries the supervision tallies of the run (retries,
+    timeouts, worker deaths, quarantined cells, heartbeats observed); all
+    zero for an undisturbed campaign.
+    """
 
     campaign: str
     records: List[Dict[str, Any]] = field(default_factory=list)
     skipped_ids: List[str] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
 
     @property
     def num_run(self) -> int:
@@ -258,6 +368,11 @@ class CampaignReport:
     @property
     def failed(self) -> List[Dict[str, Any]]:
         return [r for r in self.records if r.get("status") != "ok"]
+
+    @property
+    def quarantined(self) -> List[Dict[str, Any]]:
+        """Cells that exhausted their retry budget (a subset of ``failed``)."""
+        return [r for r in self.records if r.get("status") == "quarantined"]
 
 
 class CampaignRunner:
@@ -282,6 +397,23 @@ class CampaignRunner:
             the campaign spec (which itself defaults to 1 second).
         profile: per-cell profiler backend (one of :data:`PROFILERS`); pstats
             dumps land in the store's ``profiles/`` directory.
+        max_retries: how many times an *infrastructure* failure (worker
+            death, per-cell timeout) is retried before the cell is recorded
+            as ``quarantined``.  Deterministic in-cell exceptions are never
+            retried within a run -- re-running the same spec would raise the
+            same error -- but remain retryable across runs via resume.  The
+            default ``0`` preserves the historical behaviour: a dead
+            worker's cell is recorded as an ``error`` immediately.
+        cell_timeout_s: wall-clock budget per cell attempt; a worker past
+            its deadline is killed and the cell handled like a worker death.
+            ``None`` (default) disables timeouts.
+        retry_backoff_s: base delay before re-dispatching a failed cell;
+            attempt ``k`` waits ``retry_backoff_s * 2**k`` scaled by a
+            deterministic per-(cell, attempt) jitter in ``[1, 2)``.
+        heartbeat_interval_s: cadence of worker liveness beacons.  ``None``
+            enables 1-second heartbeats whenever supervision is active
+            (retries or timeouts configured) and disables them otherwise;
+            pass an explicit value to force either way.
     """
 
     def __init__(
@@ -294,11 +426,23 @@ class CampaignRunner:
         telemetry: Optional[bool] = None,
         telemetry_interval_s: Optional[float] = None,
         profile: Optional[str] = None,
+        max_retries: int = 0,
+        cell_timeout_s: Optional[float] = None,
+        retry_backoff_s: float = 0.0,
+        heartbeat_interval_s: Optional[float] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be positive")
         if profile is not None and profile not in PROFILERS:
             raise ValueError(f"unknown profiler {profile!r}; choose from {PROFILERS}")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if cell_timeout_s is not None and cell_timeout_s <= 0:
+            raise ValueError("cell_timeout_s must be positive")
+        if retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be non-negative")
+        if heartbeat_interval_s is not None and heartbeat_interval_s <= 0:
+            raise ValueError("heartbeat_interval_s must be positive")
         self.campaign = campaign
         self.store = store if isinstance(store, ResultStore) else ResultStore(store)
         self.jobs = jobs
@@ -306,6 +450,15 @@ class CampaignRunner:
         self.telemetry = telemetry
         self.telemetry_interval_s = telemetry_interval_s
         self.profile = profile
+        self.max_retries = max_retries
+        self.cell_timeout_s = cell_timeout_s
+        self.retry_backoff_s = retry_backoff_s
+        self.heartbeat_interval_s = heartbeat_interval_s
+
+    @property
+    def supervised(self) -> bool:
+        """Whether this run needs the supervising pool even for one job."""
+        return self.cell_timeout_s is not None or self.max_retries > 0
 
     def _obs_settings(self) -> Dict[str, Any]:
         """The ``execute_cell`` observability kwargs for this run.
@@ -394,7 +547,13 @@ class CampaignRunner:
 
         obs = self._obs_settings()
         start_method = self.resolved_start_method()
-        inline = self.jobs == 1 or len(pending) == 1 or start_method is None
+        # Supervision (timeouts, retry-on-death) needs the cell in a separate
+        # process, so it forces the pool even for one job / one cell; without
+        # it those cases run inline as before.  No start method at all always
+        # degrades to inline -- an unsupervised campaign beats no campaign.
+        inline = start_method is None or (
+            (self.jobs == 1 or len(pending) == 1) and not self.supervised
+        )
         if inline:
             for spec in pending:
                 if on_start is not None:
@@ -406,70 +565,272 @@ class CampaignRunner:
                     progress(record, len(report.records), len(pending))
             return report
 
-        shards = shard_nodes(len(pending), self.jobs)
+        self._run_pool(
+            pending,
+            report,
+            obs=obs,
+            start_method=start_method,
+            progress=progress,
+            on_start=on_start,
+        )
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Supervised worker pool
+    # ------------------------------------------------------------------ #
+    def _run_pool(
+        self,
+        pending: List[ExperimentSpec],
+        report: CampaignReport,
+        *,
+        obs: Dict[str, Any],
+        start_method: str,
+        progress: Optional[ProgressCallback],
+        on_start: Optional[StartCallback],
+    ) -> None:
+        """Drive ``pending`` through a supervised dynamic-dispatch pool.
+
+        Cells are handed to workers one at a time; the coordinator watches
+        the pipes (a closed pipe *is* the death certificate -- no polling
+        delay for ``kill -9``), enforces per-cell deadlines, re-queues
+        retryable failures with backoff, respawns dead workers while work
+        remains, and falls back to running leftovers inline if the pool
+        collapses entirely.  Every cell therefore ends in exactly one final
+        record: ``ok``, ``error`` or ``quarantined``.
+        """
+        started = time.monotonic()
+        heartbeat = self.heartbeat_interval_s
+        if heartbeat is None and self.supervised:
+            heartbeat = 1.0
+        counters = {
+            "campaign.retries": 0,
+            "campaign.timeouts": 0,
+            "campaign.worker_deaths": 0,
+            "campaign.quarantined": 0,
+            "campaign.heartbeats": 0,
+        }
+        queue: deque = deque((spec, 0) for spec in pending)  # (spec, failures)
+        retries: List[Tuple[float, int, ExperimentSpec]] = []  # (ready_at, failures, spec)
+        outstanding = len(pending)
+        total = len(pending)
         ctx = mp.get_context(start_method)
-        conns, procs = [], []
-        for shard in shards:
+        workers: List[_Worker] = []
+
+        def finalize(record: Dict[str, Any], trace_dict: Optional[Dict[str, Any]]) -> None:
+            nonlocal outstanding
+            self._persist(record, trace_dict)
+            report.records.append(record)
+            outstanding -= 1
+            if progress is not None:
+                progress(record, len(report.records), total)
+
+        def fail_attempt(spec: ExperimentSpec, failures: int, error: str) -> None:
+            """One infrastructure failure: schedule a retry or finalize."""
+            failures += 1
+            now = time.monotonic()
+            if failures <= self.max_retries:
+                counters["campaign.retries"] += 1
+                delay = (
+                    self.retry_backoff_s
+                    * (2 ** (failures - 1))
+                    * _retry_jitter(spec.cell_id, failures)
+                )
+                logger.warning(
+                    "cell %s attempt %d failed (%s); retrying in %.2fs",
+                    spec.cell_id, failures, error, delay,
+                )
+                # Persist the failed attempt so the store holds the full
+                # history; only the final outcome lands in report.records.
+                self._persist(
+                    {
+                        "cell_id": spec.cell_id,
+                        "spec": spec.to_dict(),
+                        "spec_hash": spec.spec_hash,
+                        "status": "error",
+                        "attempt": failures,
+                        "metrics": {},
+                        "state_fingerprint": None,
+                        "error": error,
+                        "duration_s": 0.0,
+                        "finished_at": time.time(),
+                    },
+                    None,
+                )
+                retries.append((now + delay, failures, spec))
+                return
+            if self.max_retries > 0:
+                counters["campaign.quarantined"] += 1
+                status = "quarantined"
+                error = (
+                    f"quarantined after {failures} failed attempt(s); "
+                    f"last error: {error}"
+                )
+            else:
+                status = "error"
+            finalize(
+                {
+                    "cell_id": spec.cell_id,
+                    "spec": spec.to_dict(),
+                    "spec_hash": spec.spec_hash,
+                    "status": status,
+                    "attempt": failures,
+                    "metrics": {},
+                    "state_fingerprint": None,
+                    "error": error,
+                    "duration_s": 0.0,
+                    "finished_at": time.time(),
+                },
+                None,
+            )
+
+        def spawn_worker() -> Optional[_Worker]:
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(
-                target=_campaign_worker,
-                args=(child_conn, [pending[i].to_dict() for i in shard], obs),
+                target=_campaign_worker, args=(child_conn, obs, heartbeat)
             )
-            proc.start()
+            try:
+                proc.start()
+            except OSError as exc:  # pragma: no cover - resource exhaustion
+                logger.warning("could not spawn campaign worker: %s", exc)
+                parent_conn.close()
+                child_conn.close()
+                return None
             child_conn.close()
-            conns.append(parent_conn)
-            procs.append(proc)
+            return _Worker(proc=proc, conn=parent_conn)
+
+        def retire(worker: _Worker) -> None:
+            workers.remove(worker)
+            worker.conn.close()
+            worker.proc.join(timeout=5)
+            if worker.proc.is_alive():  # pragma: no cover - defensive
+                worker.proc.kill()
+                worker.proc.join(timeout=5)
+
+        def worker_died(worker: _Worker) -> None:
+            counters["campaign.worker_deaths"] += 1
+            spec, failures = worker.spec, worker.attempt
+            worker.proc.join(timeout=5)
+            exitcode = worker.proc.exitcode
+            retire(worker)
+            if spec is not None:
+                fail_attempt(
+                    spec,
+                    failures,
+                    "worker process died while running this cell "
+                    f"(exit code {exitcode})",
+                )
+
         try:
-            open_conns = set(conns)
-            while open_conns:
-                for conn in connection_wait(list(open_conns)):
-                    try:
-                        kind, record, trace_dict = conn.recv()
-                    except EOFError:
-                        open_conns.discard(conn)
+            while outstanding > 0:
+                now = time.monotonic()
+                for entry in [e for e in retries if e[0] <= now]:
+                    retries.remove(entry)
+                    queue.append((entry[2], entry[1]))
+                # Keep the pool sized to the remaining work -- including
+                # cells waiting out their retry backoff, which still need a
+                # worker soon -- replacing dead workers; a failed spawn with
+                # no survivors collapses to inline execution below.
+                busy = sum(1 for w in workers if w.busy)
+                while len(workers) < min(self.jobs, busy + len(queue) + len(retries)):
+                    worker = spawn_worker()
+                    if worker is None:
+                        break
+                    workers.append(worker)
+                if not workers:
+                    break  # pool collapsed; leftovers run inline below
+                for worker in workers:
+                    if worker.busy or not queue:
                         continue
-                    if kind == "done":
-                        open_conns.discard(conn)
+                    spec, failures = queue.popleft()
+                    try:
+                        worker.conn.send(("run", spec.to_dict()))
+                    except OSError:
+                        queue.appendleft((spec, failures))
+                        worker_died(worker)
+                        break
+                    worker.spec, worker.attempt = spec, failures
+                    worker.deadline = (
+                        now + self.cell_timeout_s
+                        if self.cell_timeout_s is not None
+                        else None
+                    )
+                    worker.last_heartbeat = now
+
+                deadlines = [w.deadline for w in workers if w.busy and w.deadline]
+                wakeups = deadlines + [ready_at for ready_at, _, _ in retries]
+                timeout = max(0.0, min(wakeups) - time.monotonic()) if wakeups else None
+                if not any(w.busy for w in workers) and queue:
+                    continue  # dispatch the freshly queued retries first
+                for conn in connection_wait([w.conn for w in workers], timeout):
+                    worker = next(w for w in workers if w.conn is conn)
+                    try:
+                        kind, payload, extra = conn.recv()
+                    except EOFError:
+                        worker_died(worker)
                         continue
                     if kind == "start":
                         if on_start is not None:
-                            on_start(record)  # payload is the cell id
+                            on_start(payload)  # payload is the cell id
+                    elif kind == "hb":
+                        counters["campaign.heartbeats"] += 1
+                        worker.last_heartbeat = time.monotonic()
+                    elif kind == "cell":
+                        worker.spec = None
+                        worker.deadline = None
+                        # In-cell exceptions are deterministic -- retrying
+                        # the same spec raises the same error -- so only
+                        # infrastructure failures consume the retry budget.
+                        finalize(payload, extra)
+                now = time.monotonic()
+                for worker in [w for w in workers if w.busy and w.deadline]:
+                    if now < worker.deadline:
                         continue
-                    self._persist(record, trace_dict)
-                    report.records.append(record)
-                    if progress is not None:
-                        progress(record, len(report.records), len(pending))
+                    counters["campaign.timeouts"] += 1
+                    spec, failures = worker.spec, worker.attempt
+                    worker.spec = None  # the kill below must not double-count
+                    worker.proc.kill()
+                    retire(worker)
+                    fail_attempt(
+                        spec,
+                        failures,
+                        f"cell exceeded its {self.cell_timeout_s}s wall-clock "
+                        "timeout; worker killed",
+                    )
         finally:
-            for proc in procs:
-                proc.join(timeout=30)
-                if proc.is_alive():  # pragma: no cover - defensive
-                    proc.terminate()
-            for conn in conns:
-                conn.close()
+            for worker in list(workers):
+                try:
+                    worker.conn.send(("stop",))
+                except OSError:
+                    pass
+                retire(worker)
 
-        # A worker that died mid-shard (OOM-kill, segfault) streams nothing
-        # for its remaining cells; surface those as failures instead of
-        # silently under-reporting the campaign.
-        delivered = {record["cell_id"] for record in report.records}
-        exit_codes = [proc.exitcode for proc in procs]
-        for spec in pending:
-            if spec.cell_id in delivered:
-                continue
-            record = {
-                "cell_id": spec.cell_id,
-                "spec": spec.to_dict(),
-                "status": "error",
-                "metrics": {},
-                "error": "worker process died before running this cell "
-                f"(worker exit codes: {exit_codes})",
-                "duration_s": 0.0,
-                "finished_at": time.time(),
-            }
-            self._persist(record, None)
-            report.records.append(record)
-            if progress is not None:
-                progress(record, len(report.records), len(pending))
-        return report
+        if outstanding > 0:
+            # Pool collapse (could not spawn a single worker): degrade to
+            # inline execution so the campaign still completes and reports.
+            logger.warning(
+                "worker pool collapsed; running %d remaining cell(s) inline",
+                outstanding,
+            )
+            leftovers = [spec for spec, _ in queue]
+            leftovers += [spec for _, _, spec in sorted(retries, key=lambda e: e[0])]
+            for spec in leftovers:
+                if on_start is not None:
+                    on_start(spec.cell_id)
+                record, trace_dict = execute_cell(spec, **obs)
+                finalize(record, trace_dict)
+
+        report.counters = counters
+        if any(counters.values()):
+            # Snapshot-format supervision counters land next to the per-cell
+            # telemetry files, so `telemetry report` folds them in.  Written
+            # only when something happened: an undisturbed campaign leaves
+            # the telemetry directory exactly as before.
+            write_supervision_snapshot(
+                self.store.telemetry_root / "_campaign.jsonl",
+                label="_campaign",
+                counters=counters,
+                elapsed_s=time.monotonic() - started,
+            )
 
     def _persist(self, record: Dict[str, Any], trace_dict: Optional[Dict[str, Any]]) -> None:
         if trace_dict is not None:

@@ -45,6 +45,7 @@ from ..core import (
     TwoHopListingNode,
 )
 from ..core.membership import PATTERNS
+from ..faults.chaos import CHAOS_ADVERSARIES
 from ..fuzz.generators import build_fuzz_adversary
 from ..simulator import Adversary, Envelope, NodeAlgorithm, RoundChanges
 from ..simulator.trace import TopologyTrace, TraceReplayAdversary
@@ -248,6 +249,10 @@ ADVERSARIES: Dict[str, AdversaryBuilder] = {
     # (n, rounds, seed, params), so fuzz cells sweep and verify like any
     # other experiment -- a "seed" grid axis is a fuzzing campaign.
     "fuzz": build_fuzz_adversary,
+    # Chaos adversaries (repro.faults.chaos): cells that SIGKILL or stall
+    # their own campaign worker to exercise the runner's supervision, then
+    # delegate to a real inner adversary.
+    **CHAOS_ADVERSARIES,
 }
 
 

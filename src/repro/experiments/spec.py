@@ -35,6 +35,7 @@ from itertools import product
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..faults.models import FAULT_NONE, build_fault_plan
 from ..simulator.rounds import ENGINE_MODES
 from .registry import ADVERSARIES, ALGORITHMS, CHECKS
 
@@ -71,6 +72,12 @@ class ExperimentSpec:
         record_trace: record the realized schedule for exact replay.
         checks: names of end-of-run checks (see
             :data:`~repro.experiments.registry.CHECKS`); serial engine only.
+        faults: fault-model name (see :data:`~repro.faults.models.FAULTS`) or
+            ``"none"``.  A sweepable axis like any other: the model's
+            schedule is a pure function of this spec's seed, so every engine
+            mode realizes identical faults.
+        fault_params: keyword arguments for the fault-model builder, plus the
+            plan-level ``during_drain`` knob.
     """
 
     algorithm: str = "triangle"
@@ -87,10 +94,23 @@ class ExperimentSpec:
     num_workers: int = 2
     record_trace: bool = True
     checks: Tuple[str, ...] = ()
+    faults: str = FAULT_NONE
+    fault_params: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.checks = tuple(self.checks)
         self.adversary_params = dict(self.adversary_params)
+        self.fault_params = dict(self.fault_params)
+        if self.faults == FAULT_NONE and self.fault_params:
+            raise ValueError(
+                "fault_params given but faults is 'none'; set a fault model"
+            )
+        # Validate the fault axis eagerly (name and params) by building a
+        # throwaway plan, so a typo'd model or parameter fails at spec time
+        # with a usage error instead of mid-campaign.
+        build_fault_plan(
+            self.faults, n=max(self.n, 2), seed=self.seed, params=self.fault_params
+        )
         if self.algorithm not in ALGORITHMS:
             raise ValueError(
                 f"unknown algorithm {self.algorithm!r}; choose from {sorted(ALGORITHMS)}"
@@ -158,9 +178,18 @@ class ExperimentSpec:
     # Serialisation
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-data form (JSON-ready; tuples become lists)."""
+        """Plain-data form (JSON-ready; tuples become lists).
+
+        The fault fields are emitted only when a fault model is set: the
+        canonical form (and therefore :attr:`spec_hash` and
+        :attr:`cell_id`) of every pre-existing faultless spec is unchanged,
+        so stored results keep resuming.
+        """
         out = asdict(self)
         out["checks"] = list(self.checks)
+        if self.faults == FAULT_NONE:
+            del out["faults"]
+            del out["fault_params"]
         return out
 
     @classmethod
@@ -194,8 +223,9 @@ class ExperimentSpec:
         The readable prefix names the headline axes; the hash suffix covers
         every field, so two specs differing anywhere get different ids.
         """
+        fault = "" if self.faults == FAULT_NONE else f"-{self.faults}"
         return (
-            f"{self.algorithm}-{self.adversary}-n{self.n}-s{self.seed}-"
+            f"{self.algorithm}-{self.adversary}{fault}-n{self.n}-s{self.seed}-"
             f"{self.spec_hash[:10]}"
         )
 

@@ -1,0 +1,43 @@
+"""Fault injection: seeded deterministic failure models + chaos adversaries.
+
+Level 1 of the robustness layer (see :mod:`repro.faults.models` and
+:mod:`repro.faults.overlay`): message loss, node crash/recover, correlated
+regional outages and partition/heal cycles, all pure functions of the spec
+seed so every engine mode realizes the identical fault schedule.  Level 2
+support (:mod:`repro.faults.chaos`): adversaries that kill or stall their own
+campaign worker, for exercising the runner's supervision.
+"""
+
+from .chaos import CHAOS_ADVERSARIES, build_chaos_kill, build_chaos_sleep
+from .models import (
+    FAULT_NONE,
+    FAULTS,
+    CrashRecover,
+    FaultModel,
+    FaultPlan,
+    GilbertElliottLoss,
+    PartitionCycle,
+    RegionalOutage,
+    UniformLoss,
+    build_fault_plan,
+    register_fault,
+)
+from .overlay import FaultOverlayAdversary
+
+__all__ = [
+    "FAULT_NONE",
+    "FAULTS",
+    "CHAOS_ADVERSARIES",
+    "CrashRecover",
+    "FaultModel",
+    "FaultOverlayAdversary",
+    "FaultPlan",
+    "GilbertElliottLoss",
+    "PartitionCycle",
+    "RegionalOutage",
+    "UniformLoss",
+    "build_chaos_kill",
+    "build_chaos_sleep",
+    "build_fault_plan",
+    "register_fault",
+]

@@ -1,0 +1,111 @@
+"""Chaos adversaries: cells that attack the *harness* instead of the graph.
+
+These registry adversaries exist to exercise the campaign runner's worker
+supervision (Level 2 of the fault work): a cell that SIGKILLs its own worker
+a configurable number of times, and a cell that stalls long enough to trip
+the per-cell timeout.  They behave like ordinary adversaries from the spec's
+point of view -- after the chaos budget is exhausted they delegate to a real
+inner adversary, so a retried cell eventually *succeeds* and the
+retry-then-ok path is testable end to end.  A kill budget larger than the
+retry budget turns the cell into a poison cell and exercises quarantine.
+
+Determinism note: the kill counter lives in a file (``kill_file``) because
+the process executing the cell is destroyed by the kill -- the count must
+survive it.  Attempts are sequential (the supervisor retries one at a time),
+so a read-then-append counter is race-free.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from pathlib import Path
+from typing import Dict
+
+from ..simulator.adversary import Adversary
+
+__all__ = ["build_chaos_kill", "build_chaos_sleep", "CHAOS_ADVERSARIES"]
+
+
+def _attempts_so_far(path: Path) -> int:
+    try:
+        return len(path.read_bytes().splitlines())
+    except FileNotFoundError:
+        return 0
+
+
+def _mark_attempt(path: Path) -> None:
+    # Append + fsync before the kill so the attempt is durably counted even
+    # though the process dies microseconds later.
+    with open(path, "ab") as handle:
+        handle.write(b"x\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _build_inner(n: int, rounds, seed: int, params: Dict) -> Adversary:
+    # Imported lazily: the registry imports this module, so a module-level
+    # import would be circular.
+    from ..experiments.registry import build_adversary
+
+    inner = params.pop("inner", "churn")
+    inner_params = params.pop("inner_params", None)
+    if inner_params is None:
+        inner_params = {"inserts_per_round": 2, "deletes_per_round": 1}
+    if params:
+        raise ValueError(f"unknown chaos adversary params: {sorted(params)}")
+    return build_adversary(inner, n=n, rounds=rounds, seed=seed, params=inner_params)
+
+
+def build_chaos_kill(n: int, rounds, seed: int, params: Dict) -> Adversary:
+    """A cell that SIGKILLs its own worker ``times`` times, then succeeds.
+
+    Params:
+        kill_file: counter file path (required); one line per kill so far.
+        times: number of attempts to kill before behaving normally (default 1).
+        inner / inner_params: the adversary to delegate to once exhausted.
+    """
+    params = dict(params)
+    kill_file = params.pop("kill_file", None)
+    times = int(params.pop("times", 1))
+    if kill_file is None:
+        raise ValueError("chaos_kill requires a 'kill_file' param (counter path)")
+    if times < 0:
+        raise ValueError(f"chaos_kill 'times' must be >= 0, got {times}")
+    path = Path(kill_file)
+    if _attempts_so_far(path) < times:
+        _mark_attempt(path)
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _build_inner(n, rounds, seed, params)
+
+
+def build_chaos_sleep(n: int, rounds, seed: int, params: Dict) -> Adversary:
+    """A cell that stalls ``sleep_s`` seconds at build time, then proceeds.
+
+    With a ``skip_file`` param the stall happens only while the file has
+    fewer than ``times`` lines (default: always stall), so a timed-out cell
+    can succeed on retry.
+    """
+    params = dict(params)
+    sleep_s = params.pop("sleep_s", None)
+    skip_file = params.pop("skip_file", None)
+    times = int(params.pop("times", 1))
+    if sleep_s is None:
+        raise ValueError("chaos_sleep requires a 'sleep_s' param (seconds)")
+    stall = True
+    if skip_file is not None:
+        path = Path(skip_file)
+        stall = _attempts_so_far(path) < times
+        if stall:
+            _mark_attempt(path)
+    if stall:
+        time.sleep(float(sleep_s))
+    return _build_inner(n, rounds, seed, params)
+
+
+#: Builders the experiments registry installs under these adversary names.
+CHAOS_ADVERSARIES = {
+    "chaos_kill": build_chaos_kill,
+    "chaos_sleep": build_chaos_sleep,
+}

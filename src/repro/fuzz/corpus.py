@@ -39,7 +39,14 @@ _EXPECTS = ("fail", "pass")
 
 @dataclass
 class CorpusEntry:
-    """One stored reproducer."""
+    """One stored reproducer.
+
+    ``faults``/``fault_params``/``seed`` make fault-triggered reproducers
+    self-contained: the scripted schedule is the *logical* topology and the
+    fault plan (a pure function of the seed) rebuilds the physical faults on
+    replay.  All three default to the fault-free values, so entries recorded
+    before fault support round-trip bit-identically with unchanged ids.
+    """
 
     algorithm: str
     n: int
@@ -51,6 +58,9 @@ class CorpusEntry:
     note: str = ""
     provenance: Dict[str, Any] = field(default_factory=dict)
     added_at: float = 0.0
+    faults: str = "none"
+    fault_params: Dict[str, Any] = field(default_factory=dict)
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if self.expect not in _EXPECTS:
@@ -60,7 +70,16 @@ class CorpusEntry:
     @property
     def entry_id(self) -> str:
         rounds = [(r["insert"], r["delete"]) for r in self.trace["rounds"]]
-        return trace_fingerprint(self.algorithm, self.n, rounds, drain=self.drain)[:16]
+        # The fault tag joins the digest only when set: fault-free ids are
+        # byte-identical to those of entries recorded before fault support.
+        algorithm = self.algorithm
+        if self.faults != "none":
+            tag = json.dumps(
+                {"faults": self.faults, "params": self.fault_params, "seed": self.seed},
+                sort_keys=True,
+            )
+            algorithm = f"{self.algorithm}@{tag}"
+        return trace_fingerprint(algorithm, self.n, rounds, drain=self.drain)[:16]
 
     @property
     def num_rounds(self) -> int:
@@ -73,15 +92,18 @@ class CorpusEntry:
             adversary="scripted",
             n=self.n,
             rounds=None,
+            seed=self.seed,
             adversary_params={"trace": json.loads(json.dumps(self.trace))},
             drain=self.drain,
+            faults=self.faults,
+            fault_params=dict(self.fault_params),
         )
 
     # ------------------------------------------------------------------ #
     # Serialisation
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "entry_id": self.entry_id,
             "algorithm": self.algorithm,
             "n": self.n,
@@ -94,6 +116,11 @@ class CorpusEntry:
             "provenance": dict(self.provenance),
             "added_at": self.added_at,
         }
+        if self.faults != "none":
+            data["faults"] = self.faults
+            data["fault_params"] = dict(self.fault_params)
+            data["seed"] = self.seed
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CorpusEntry":
@@ -108,6 +135,9 @@ class CorpusEntry:
             note=str(data.get("note", "")),
             provenance=dict(data.get("provenance", {})),
             added_at=float(data.get("added_at", 0.0)),
+            faults=str(data.get("faults", "none")),
+            fault_params=dict(data.get("fault_params", {})),
+            seed=int(data.get("seed", 0)),
         )
 
 

@@ -51,6 +51,10 @@ class FuzzConfig:
         shrink: ddmin-minimize the first failure of each new failure class.
         max_shrink_candidates: harness-run budget per shrink session.
         max_events_per_round: churn-burst intensity knob.
+        faults: fault-model axis, cycled across cells (``"none"`` entries
+            fuzz fault-free).  Every fault plan is a pure function of the
+            cell seed, so faulted cells differentially verify and shrink
+            like any other.
     """
 
     budget: int = 50
@@ -63,6 +67,7 @@ class FuzzConfig:
     shrink: bool = False
     max_shrink_candidates: int = 1500
     max_events_per_round: int = 3
+    faults: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.budget < 0:
@@ -79,9 +84,19 @@ class FuzzConfig:
             raise ValueError(f"unknown profile {self.profile!r}; choose from {sorted(PROFILES)}")
         if len(self.modes) < 2:
             raise ValueError("fuzzing compares engines; need at least two modes")
+        self.faults = tuple(self.faults)
+        from ..faults.models import FAULTS
+
+        for name in self.faults:
+            if name != "none" and name not in FAULTS:
+                raise ValueError(
+                    f"unknown fault model {name!r}; choose from "
+                    f"{['none'] + sorted(FAULTS)}"
+                )
 
     def cell_spec(self, index: int) -> ExperimentSpec:
         """The ``index``-th fuzz cell of this configuration."""
+        faults = self.faults[index % len(self.faults)] if self.faults else "none"
         return ExperimentSpec(
             algorithm=self.algorithms[index % len(self.algorithms)],
             adversary="fuzz",
@@ -92,6 +107,7 @@ class FuzzConfig:
                 "profile": self.profile,
                 "max_events_per_round": self.max_events_per_round,
             },
+            faults=faults,
         )
 
 
@@ -162,6 +178,7 @@ class FuzzReport:
                 "profile": self.config.profile,
                 "modes": list(self.config.modes),
                 "shrink": self.config.shrink,
+                "faults": list(self.config.faults),
             },
             "ok": self.ok,
             "num_cells": self.num_cells,
@@ -276,6 +293,9 @@ def run_fuzz(
                     expect="fail",
                     modes=config.modes,
                     drain=reproducer.drain,
+                    faults=reproducer.faults,
+                    fault_params=dict(reproducer.fault_params),
+                    seed=reproducer.seed,
                     note=f"found by fuzzing (cell {spec.cell_id})",
                     provenance={
                         "base_seed": config.seed,

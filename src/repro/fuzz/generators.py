@@ -61,6 +61,18 @@ PROFILES: Dict[str, Dict[str, int]] = {
         "quiet_gap": 1,
         "churn_burst": 1,
     },
+    # Fault-shaped schedules: node crashes (cut everything incident, hold
+    # down, re-attach) and partitions (cut every crossing edge, hold, heal)
+    # as *topology* events, so fault-triggered divergences shrink through the
+    # ordinary ddmin pipeline.  A separate profile -- extending the existing
+    # mixes would reshuffle their RNG streams and invalidate pinned seeds.
+    "faults": {
+        "crash_splice": 3,
+        "partition_splice": 3,
+        "churn_burst": 2,
+        "reinsert_interleave": 1,
+        "quiet_gap": 1,
+    },
 }
 
 
@@ -222,6 +234,43 @@ class ScheduleFuzzer:
             ]
         if self._rng.random() < 0.3:
             rounds.append(self._emit(delete=[edge]))
+        return rounds
+
+    def _phase_crash_splice(self) -> List[Round]:
+        """Crash one node: cut its incident edges, hold it down, re-attach.
+
+        The schedule-level mirror of the ``crash`` fault model's clean-stop
+        variant -- the node vanishes from the topology for a few rounds and
+        (usually) gets most of its edges back, exercising the same stale-
+        knowledge hazards without needing a fault plan to replay.
+        """
+        candidates = sorted({x for e in self._present for x in e})
+        if not candidates:
+            return self._phase_churn_burst()
+        victim = self._rng.choice(candidates)
+        incident = sorted(e for e in self._present if victim in e)
+        rounds = [self._emit(delete=incident)]
+        for _ in range(self._rng.randint(1, 3)):
+            rounds.append(self._emit())  # downtime: the node stays isolated
+        revive = [e for e in incident if self._rng.random() < 0.8]
+        if revive:
+            rounds.append(self._emit(insert=revive))
+        return rounds
+
+    def _phase_partition_splice(self) -> List[Round]:
+        """Partition the graph: cut every crossing edge, hold, then heal."""
+        side = {v for v in range(self.n) if self._rng.random() < 0.5}
+        crossing = sorted(
+            e for e in self._present if (e[0] in side) != (e[1] in side)
+        )
+        if not crossing:
+            return self._phase_churn_burst()
+        rounds = [self._emit(delete=crossing)]
+        for _ in range(self._rng.randint(1, 3)):
+            rounds.append(self._emit())  # the halves evolve separately
+        heal = [e for e in crossing if self._rng.random() < 0.9]
+        if heal:
+            rounds.append(self._emit(insert=heal))
         return rounds
 
     def _phase_batch_blast(self) -> List[Round]:

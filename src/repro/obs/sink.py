@@ -18,7 +18,43 @@ import time
 from pathlib import Path
 from typing import IO, Optional
 
-__all__ = ["TelemetrySink"]
+__all__ = ["TelemetrySink", "write_supervision_snapshot"]
+
+
+def write_supervision_snapshot(
+    path: str | Path,
+    *,
+    label: str,
+    counters,
+    elapsed_s: float = 0.0,
+) -> Path:
+    """Write one snapshot-format JSONL line for coordinator-side counters.
+
+    The campaign runner's worker supervision (retries, timeouts, worker
+    deaths, quarantines) happens in the coordinator process, outside any
+    cell's :data:`~repro.obs.telemetry.TELEMETRY` window.  This helper emits
+    those counters in the same cumulative-snapshot shape a
+    :class:`TelemetrySink` writes, so ``telemetry report`` merges them with
+    per-cell files without special cases (the file lands next to the cell
+    files, conventionally as ``telemetry/_campaign.jsonl``).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    snapshot = {
+        "label": label,
+        "seq": 0,
+        "final": True,
+        "ts": time.time(),
+        "elapsed_s": float(elapsed_s),
+        "ticks": 0,
+        "counters": {name: int(value) for name, value in dict(counters).items()},
+        "gauges": {},
+        "spans": {},
+        "histograms": {},
+    }
+    with path.open("w") as handle:
+        handle.write(json.dumps(snapshot) + "\n")
+    return path
 
 
 class TelemetrySink:

@@ -137,6 +137,22 @@ class DynamicNetwork:
         self._check_node(v)
         return len(self._adj[v])
 
+    def edges_incident(self, nodes) -> FrozenSet[Edge]:
+        """Every current edge with at least one endpoint in ``nodes``.
+
+        The edge set a crashed (or regionally failed) node tears down: the
+        fault overlay masks exactly these edges out of the physical graph,
+        and tests assert against the same query.  Computed from the adjacency
+        lists, so the cost scales with the failed nodes' degrees rather than
+        the whole edge set.
+        """
+        out: Set[Edge] = set()
+        for v in nodes:
+            self._check_node(v)
+            for u in self._adj[v]:
+                out.add(canonical_edge(u, v))
+        return frozenset(out)
+
     def insertion_time(self, u: int, v: int) -> int:
         """True (latest) insertion time ``t_e`` of edge ``{u, v}``.
 

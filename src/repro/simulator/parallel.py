@@ -93,10 +93,15 @@ def _worker_loop(
             conn.close()
             return
         if op == "react":
-            round_index, indications = payload
+            round_index, indications, resets = payload
+            # Amnesia recoveries: rebuild the instance before any hook runs,
+            # so the fresh node sees this round's re-insertion indications --
+            # the same ordering as the serial engines.
+            for v in resets:
+                nodes[v] = factory(v, n)
             outgoing: Dict[int, Dict[int, Envelope]] = {}
             if mode == "sparse":
-                react_active = sorted(set(indications) | dirty | sent_last)
+                react_active = sorted(set(indications) | dirty | sent_last | set(resets))
                 react_round = round_index
             else:
                 react_active = list(nodes)
@@ -173,6 +178,7 @@ class ShardedRoundEngine:
         metrics: Optional[MetricsCollector] = None,
         start_method: str = "fork",
         mode: str = "sparse",
+        faults=None,
     ) -> None:
         if mode not in ENGINE_MODES:
             raise ValueError(f"mode must be one of {ENGINE_MODES}, got {mode!r}")
@@ -180,6 +186,12 @@ class ShardedRoundEngine:
         self.bandwidth = bandwidth if bandwidth is not None else BandwidthPolicy()
         self.metrics = metrics if metrics is not None else MetricsCollector()
         self.mode = mode
+        #: Optional FaultPlan; drops run in the coordinator's routing loop
+        #: (the one place all cross-shard traffic flows through) and amnesia
+        #: resets ship to the owning worker in the react payload.
+        self.faults = faults
+        if faults is not None:
+            faults.algorithm_factory = algorithm_factory
         workers = num_workers if num_workers is not None else max(1, (os.cpu_count() or 2) - 1)
         self._shards = shard_nodes(n, workers)
         self._node_to_shard: Dict[int, int] = {}
@@ -226,17 +238,27 @@ class ShardedRoundEngine:
         if tel_on:
             t_round = t0 = perf_counter()
         indications = self.network.apply_changes(round_index, changes)
+        faults = self.faults
+        resets = faults.resets_for_round(round_index) if faults is not None else ()
+        drops = faults is not None and faults.affects_delivery
 
         # React & send, per shard.  In sparse mode a shard participates only
-        # if its worker reported pending activity last round or one of its
-        # nodes is touched by this round's changes.
+        # if its worker reported pending activity last round, one of its
+        # nodes is touched by this round's changes, or one of its nodes
+        # recovers with amnesia (the fresh instance must run its hooks).
         per_shard_indications: List[Dict[int, Tuple[tuple, tuple]]] = [
             {} for _ in self._shards
         ]
         for v, ind in indications.items():
             per_shard_indications[self._node_to_shard[v]][v] = (ind.inserted, ind.deleted)
+        per_shard_resets: List[List[int]] = [[] for _ in self._shards]
+        for v in resets:
+            per_shard_resets[self._node_to_shard[v]].append(v)
         reacting = [
-            not sparse or self._needs_react[idx] or bool(per_shard_indications[idx])
+            not sparse
+            or self._needs_react[idx]
+            or bool(per_shard_indications[idx])
+            or bool(per_shard_resets[idx])
             for idx in range(len(self._shards))
         ]
         if tel_on:
@@ -244,7 +266,7 @@ class ShardedRoundEngine:
             tel.record_span("engine.indications", t1 - t0)
         for idx, (conn, shard_ind) in enumerate(zip(self._conns, per_shard_indications)):
             if reacting[idx]:
-                conn.send(("react", (round_index, shard_ind)))
+                conn.send(("react", (round_index, shard_ind, per_shard_resets[idx])))
         outgoing_all: Dict[int, Dict[int, Envelope]] = {}
         for idx, conn in enumerate(self._conns):
             if not reacting[idx]:
@@ -273,6 +295,11 @@ class ShardedRoundEngine:
                 if not envelope.is_silent:
                     num_envelopes += 1
                     bits_sent += size
+                    # Sent-but-lost: charged and counted like a delivered
+                    # envelope (the workers already marked the sender as
+                    # having sent), it just never reaches the target's inbox.
+                    if drops and faults.message_dropped(round_index, sender, target):
+                        continue
                     inboxes.setdefault(target, {})[sender] = envelope
 
         if tel_on:

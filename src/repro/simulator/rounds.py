@@ -86,6 +86,7 @@ class RoundEngine:
         nodes: Mapping[int, NodeAlgorithm],
         bandwidth: Optional[BandwidthPolicy] = None,
         metrics: Optional[MetricsCollector] = None,
+        faults=None,
     ) -> None:
         if set(nodes.keys()) != set(network.nodes):
             raise ValueError("nodes mapping must cover exactly the network's nodes")
@@ -93,6 +94,11 @@ class RoundEngine:
         self.nodes: Dict[int, NodeAlgorithm] = dict(nodes)
         self.bandwidth = bandwidth if bandwidth is not None else BandwidthPolicy()
         self.metrics = metrics if metrics is not None else MetricsCollector()
+        #: Optional :class:`~repro.faults.models.FaultPlan`.  The engine
+        #: consults it at exactly two points -- amnesia resets right after the
+        #: topology stage, message drops right after send accounting -- so the
+        #: realized fault schedule is identical across engine modes.
+        self.faults = faults
         self._last_inconsistent: List[int] = []
 
     # ------------------------------------------------------------------ #
@@ -117,6 +123,13 @@ class RoundEngine:
 
         # Stage 1: topology changes and local indications.
         indications = self.network.apply_changes(round_index, changes)
+        faults = self.faults
+        if faults is not None:
+            # Amnesia recoveries: the node comes back blank and then receives
+            # this round's (re-insertion) indications like everyone else.
+            for v in faults.resets_for_round(round_index):
+                self.nodes[v] = faults.fresh_node(v, n)
+        drops = faults is not None and faults.affects_delivery
         if tel_on:
             t1 = perf_counter()
             tel.record_span("engine.indications", t1 - t0)
@@ -151,6 +164,11 @@ class RoundEngine:
                 if not envelope.is_silent:
                     num_envelopes += 1
                     bits_sent += size
+                    # A dropped message is sent-but-lost: it was charged and
+                    # counted above, it just never reaches the inbox, so the
+                    # round records stay identical across engine modes.
+                    if drops and faults.message_dropped(round_index, v, target):
+                        continue
                     inboxes.setdefault(target, {})[v] = envelope
         if tel_on:
             t3 = perf_counter()
@@ -294,8 +312,9 @@ class SparseRoundEngine(RoundEngine):
         nodes: Mapping[int, NodeAlgorithm],
         bandwidth: Optional[BandwidthPolicy] = None,
         metrics: Optional[MetricsCollector] = None,
+        faults=None,
     ) -> None:
-        super().__init__(network, nodes, bandwidth, metrics)
+        super().__init__(network, nodes, bandwidth, metrics, faults)
         # Nodes whose algorithm self-reports dirty state.  Unported algorithms
         # (default is_quiescent() == False) live here permanently, which
         # degrades gracefully to the dense schedule for them.
@@ -324,12 +343,22 @@ class SparseRoundEngine(RoundEngine):
 
         # Stage 1: topology changes and local indications.
         indications = self.network.apply_changes(round_index, changes)
+        faults = self.faults
+        resets = faults.resets_for_round(round_index) if faults is not None else ()
+        if resets:
+            for v in resets:
+                nodes[v] = faults.fresh_node(v, n)
+        drops = faults is not None and faults.affects_delivery
 
         # The nodes that may react or send this round.  Sorted iteration keeps
         # the relative order of the dense engine's 0..n-1 sweep, so any
         # order-sensitive failure (e.g. which bandwidth violation raises
-        # first) is reproduced exactly.
-        active = sorted(set(indications) | self._dirty | self._sent_last_round)
+        # first) is reproduced exactly.  Reset nodes join unconditionally:
+        # their fresh instance must re-query consistency/quiescence even if
+        # no indication reaches them this round.
+        active = sorted(
+            set(indications) | self._dirty | self._sent_last_round | set(resets)
+        )
         if tel_on:
             t1 = perf_counter()
             tel.record_span("engine.indications", t1 - t0)
@@ -364,8 +393,14 @@ class SparseRoundEngine(RoundEngine):
                 if not envelope.is_silent:
                     num_envelopes += 1
                     bits_sent += size
-                    inboxes.setdefault(target, {})[v] = envelope
+                    # The sender stays scheduled next round even when its
+                    # envelope is lost (it *sent*; the drop happens in
+                    # flight), matching the dense engine's dense schedule and
+                    # the sharded workers' sender-side accounting.
                     sent_now.add(v)
+                    if drops and faults.message_dropped(round_index, v, target):
+                        continue
+                    inboxes.setdefault(target, {})[v] = envelope
         if tel_on:
             t3 = perf_counter()
             tel.record_span("engine.compute", react_s + compose_s)
@@ -453,9 +488,10 @@ def create_engine(
     nodes: Mapping[int, NodeAlgorithm],
     bandwidth: Optional[BandwidthPolicy] = None,
     metrics: Optional[MetricsCollector] = None,
+    faults=None,
 ) -> RoundEngine:
     """Build a round engine by mode name (``"dense"`` or ``"sparse"``)."""
     if mode not in ENGINE_MODES:
         raise ValueError(f"engine mode must be one of {ENGINE_MODES}, got {mode!r}")
     cls = SparseRoundEngine if mode == "sparse" else RoundEngine
-    return cls(network, nodes, bandwidth, metrics)
+    return cls(network, nodes, bandwidth, metrics, faults)

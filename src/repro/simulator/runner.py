@@ -76,6 +76,8 @@ class SimulationResult:
         nodes: the node algorithm instances (their final local state).
         bandwidth: the bandwidth policy with its accumulated statistics.
         trace: the realized topology trace, if recording was requested.
+        faults: the :class:`~repro.faults.models.FaultPlan` of the run (with
+            its accumulated fault statistics), or ``None``.
     """
 
     metrics: MetricsCollector
@@ -83,6 +85,7 @@ class SimulationResult:
     nodes: Dict[int, NodeAlgorithm]
     bandwidth: BandwidthPolicy
     trace: Optional[TopologyTrace] = None
+    faults: object = None
 
     @property
     def amortized_round_complexity(self) -> float:
@@ -138,6 +141,13 @@ def drive_engine(
             after_round()
 
     if drain:
+        # The adversary is never consulted during the drain, so topology
+        # faults freeze on their own; the plan latches message loss off too
+        # (unless configured ``during_drain``), otherwise a self-stabilizing
+        # protocol re-sending the same lost update could drain forever.
+        faults = getattr(engine, "faults", None)
+        if faults is not None:
+            faults.enter_drain()
         drained = 0
         while not engine.all_consistent:
             # Quiet-round fast-forward (see RoundEngine.drain_fixpoint): when
@@ -193,6 +203,7 @@ class SimulationRunner:
         record_trace: bool = False,
         validators: Optional[List[RoundValidator]] = None,
         engine_mode: str = "sparse",
+        faults=None,
     ) -> None:
         if engine_mode not in ENGINE_MODES:
             raise ValueError(
@@ -206,11 +217,28 @@ class SimulationRunner:
         }
         self.bandwidth = BandwidthPolicy(factor=bandwidth_factor, strict=strict_bandwidth)
         self.metrics = MetricsCollector()
+        self.faults = faults
+        if faults is not None:
+            # The plan rebuilds amnesiac nodes through the same factory.
+            faults.algorithm_factory = algorithm_factory
+            if faults.affects_topology:
+                # Imported lazily: repro.faults depends on the simulator's
+                # submodules, so the top level must not import back into it.
+                from ..faults.overlay import FaultOverlayAdversary
+
+                adversary = FaultOverlayAdversary(adversary, n, faults)
         self.engine = create_engine(
-            engine_mode, self.network, self.nodes, self.bandwidth, self.metrics
+            engine_mode, self.network, self.nodes, self.bandwidth, self.metrics, faults
         )
+        # Alias the engine's nodes dict (create_engine copies the mapping) so
+        # amnesia resets replacing instances in-place stay visible to the
+        # validators and to SimulationResult.nodes.
+        self.nodes = self.engine.nodes
         self._validators: List[RoundValidator] = list(validators or [])
         if record_trace:
+            # Trace recording wraps *outside* the fault overlay: recorded
+            # traces are the physical post-fault schedule, identical across
+            # engines and replayable without the overlay.
             self.adversary: Adversary = TraceRecordingAdversary(adversary, n)
         else:
             self.adversary = adversary
@@ -266,6 +294,7 @@ class SimulationRunner:
             nodes=self.nodes,
             bandwidth=self.bandwidth,
             trace=trace,
+            faults=self.faults,
         )
 
     def step(self, changes: RoundChanges) -> None:

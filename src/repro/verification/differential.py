@@ -33,6 +33,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..experiments.registry import ALGORITHMS, build_adversary
 from ..experiments.spec import CampaignSpec, ExperimentSpec
+from ..faults.models import FAULT_NONE, build_fault_plan
+from ..faults.overlay import FaultOverlayAdversary
 from ..obs.telemetry import TELEMETRY
 from ..simulator.bandwidth import BandwidthPolicy
 from ..simulator.metrics import RoundRecord
@@ -213,6 +215,9 @@ def run_reference(
         record_trace=record_trace,
         validators=validators,
         engine_mode=engine_mode,
+        faults=build_fault_plan(
+            spec.faults, n=spec.n, seed=spec.seed, params=spec.fault_params
+        ),
     )
     result = runner.run(num_rounds=spec.rounds, drain=spec.drain)
     outcomes = {s.name: s.finish(result) for s in sessions}
@@ -233,21 +238,38 @@ def _run_mode(
     if mode in ("dense", "sparse"):
         result, outcomes = run_reference(spec, engine_mode=mode, checks=checks)
         fingerprints = {v: algo.state_fingerprint() for v, algo in result.nodes.items()}
+        summary = _summary_of(
+            result.metrics, result.bandwidth, spec.n, result.network.num_edges
+        )
+        if result.faults is not None:
+            # Fault statistics (drops, resets, masked edges) join the gated
+            # summary: every engine mode must realize the identical fault
+            # schedule, not just identical records.
+            summary.update(
+                {key: float(v) for key, v in result.faults.stats.items()}
+            )
         run = ModeRun(
             mode=mode,
             records=list(result.metrics.rounds),
             trace=result.trace,
             fingerprints=fingerprints,
             edges=result.network.edges,
-            summary=_summary_of(
-                result.metrics, result.bandwidth, spec.n, result.network.num_edges
-            ),
+            summary=summary,
         )
         return run, outcomes
     if mode != "sharded":
         raise ValueError(f"unknown differential mode {mode!r}; choose from {DEFAULT_MODES}")
 
-    adversary = TraceRecordingAdversary(_build_cell_adversary(spec), spec.n)
+    plan = build_fault_plan(
+        spec.faults, n=spec.n, seed=spec.seed, params=spec.fault_params
+    )
+    inner = _build_cell_adversary(spec)
+    if plan is not None and plan.affects_topology:
+        # Trace recording wraps *outside* the overlay so the recorded trace
+        # is the physical post-fault schedule -- comparable 1:1 with the
+        # serial engines' traces.
+        inner = FaultOverlayAdversary(inner, spec.n, plan)
+    adversary = TraceRecordingAdversary(inner, spec.n)
     bandwidth = BandwidthPolicy(factor=spec.bandwidth_factor, strict=spec.strict_bandwidth)
     with ShardedRoundEngine(
         spec.n,
@@ -255,16 +277,20 @@ def _run_mode(
         num_workers=spec.num_workers,
         bandwidth=bandwidth,
         mode="sparse",
+        faults=plan,
     ) as engine:
         drive_engine(engine, adversary, num_rounds=spec.rounds, drain=spec.drain)
         fingerprints = engine.state_fingerprints()
+        summary = _summary_of(engine.metrics, bandwidth, spec.n, engine.network.num_edges)
+        if plan is not None:
+            summary.update({key: float(v) for key, v in plan.stats.items()})
         run = ModeRun(
             mode=mode,
             records=list(engine.metrics.rounds),
             trace=adversary.trace,
             fingerprints=fingerprints,
             edges=engine.network.edges,
-            summary=_summary_of(engine.metrics, bandwidth, spec.n, engine.network.num_edges),
+            summary=summary,
         )
     return run, {}
 
@@ -383,7 +409,13 @@ def run_differential(
     if len(set(modes)) != len(modes):
         raise ValueError(f"duplicate modes in {modes}")
     if auto_checks:
-        check_names: Sequence[str] = applicable_checks(spec)
+        # Result checks grade against fault-free semantics (reliable
+        # delivery, no state loss), so auto-selection skips fault cells --
+        # bit-identity across engines remains fully gated, and explicitly
+        # requested checks are still honored.
+        check_names: Sequence[str] = (
+            () if spec.faults != FAULT_NONE else applicable_checks(spec)
+        )
     else:
         check_names = tuple(spec.checks if checks is None else checks)
     serial_modes = [m for m in modes if m in ("dense", "sparse")]

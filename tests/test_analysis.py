@@ -197,6 +197,17 @@ class TestCampaignStoreLoading:
         records = load_results_jsonl(store_dir)
         assert [r["cell_id"] for r in records] == ["a"]
 
+    def test_line_torn_inside_a_multibyte_character_is_skipped(self, tmp_path):
+        # A SIGKILLed worker can tear its append anywhere -- including between
+        # the bytes of one UTF-8 character.  The intact records must survive.
+        store_dir = tmp_path / "store"
+        store_dir.mkdir()
+        good = '{"cell_id": "a", "status": "ok", "metrics": {}}'.encode()
+        torn = '{"cell_id": "b", "note": "π≈3'.encode()[:-2]  # mid-character
+        (store_dir / "results.jsonl").write_bytes(good + b"\n" + torn)
+        records = load_results_jsonl(store_dir)
+        assert [r["cell_id"] for r in records] == ["a"]
+
     def test_dotted_column_lookup(self):
         headers, rows = campaign_table(
             FIXTURE_STORE,

@@ -60,7 +60,7 @@ class TestUsageErrors:
             ]
         )
         assert code == 0
-        assert "5 ok" in capsys.readouterr().out
+        assert "6 ok" in capsys.readouterr().out
 
 
 class TestCleanBuild:

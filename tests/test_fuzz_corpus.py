@@ -64,6 +64,42 @@ class TestCorpusEntry:
         assert spec.rounds is None and spec.drain
 
 
+class TestFaultCarryingEntries:
+    """Reproducers found under a fault plan stay self-contained on replay."""
+
+    def fault_entry(self) -> CorpusEntry:
+        entry = ghost_entry("pass")
+        entry.faults = "crash"
+        entry.fault_params = {"crash_p": 0.5, "cycle": 6, "downtime": 2}
+        entry.seed = 1234
+        return entry
+
+    def test_fault_fields_round_trip(self):
+        entry = self.fault_entry()
+        clone = CorpusEntry.from_dict(json.loads(json.dumps(entry.to_dict())))
+        assert clone.entry_id == entry.entry_id
+        assert (clone.faults, clone.fault_params, clone.seed) == (
+            "crash",
+            {"crash_p": 0.5, "cycle": 6, "downtime": 2},
+            1234,
+        )
+        spec = clone.spec()
+        assert spec.faults == "crash" and spec.seed == 1234
+
+    def test_fault_tag_is_part_of_the_identity(self):
+        plain, faulted = ghost_entry("pass"), self.fault_entry()
+        assert plain.entry_id != faulted.entry_id
+        different_seed = self.fault_entry()
+        different_seed.seed = 5678
+        assert different_seed.entry_id != faulted.entry_id
+
+    def test_fault_free_serialization_is_unchanged(self):
+        # Entries recorded before fault support must keep byte-identical
+        # JSONL lines and ids: no faults/fault_params/seed keys sneak in.
+        data = ghost_entry("pass").to_dict()
+        assert {"faults", "fault_params", "seed"}.isdisjoint(data)
+
+
 class TestCorpusStore:
     def test_add_and_dedupe(self, tmp_path):
         store = CorpusStore(tmp_path / "corpus")
@@ -153,6 +189,15 @@ class TestCommittedCorpus:
         outcomes = store.replay_all()  # each entry's own modes: all three engines
         bad = [o.describe() for o in outcomes if not o.ok]
         assert not bad, "\n".join(bad)
+
+    def test_corpus_carries_a_fault_reproducer(self):
+        # The fault work's satellite: at least one committed reproducer runs
+        # under a fault plan, so the fault machinery itself stays inside the
+        # permanent replay gate.
+        store = CorpusStore(COMMITTED_CORPUS)
+        faulted = [e for e in store.entries() if e.faults != "none"]
+        assert faulted, "no fault-carrying reproducer committed"
+        assert any(e.spec().faults != "none" for e in faulted)
 
     def test_corpus_replay_is_deterministic(self):
         # Two replays of the same entry observe identical signatures -- the
