@@ -18,8 +18,8 @@ Installed as the ``repro-dynamic-subgraphs`` console script.  Three modes:
       repro-dynamic-subgraphs campaign --spec sweep.json --jobs 4
 
 * the ``verify`` subcommand differentially verifies every unique cell of a
-  sweep spec across the dense, sparse and sharded engines, running every
-  applicable registered check and reporting structured divergences::
+  sweep spec across the dense, sparse, sharded and columnar engines, running
+  every applicable registered check and reporting structured divergences::
 
       repro-dynamic-subgraphs verify --spec sweep.json
 
@@ -123,7 +123,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(ENGINE_MODES),
         default="sparse",
         help="round scheduler: 'sparse' only visits active nodes (default), "
-        "'dense' visits every node every round; both produce identical results",
+        "'dense' visits every node every round, 'columnar' batches message "
+        "routing over struct-of-arrays buffers; all produce identical results",
     )
     parser.add_argument("--inserts-per-round", type=int, default=2)
     parser.add_argument("--deletes-per-round", type=int, default=1)
@@ -455,8 +456,9 @@ def build_verify_parser() -> argparse.ArgumentParser:
     parser.add_argument("--spec", type=Path, required=True, help="campaign spec JSON file")
     parser.add_argument(
         "--modes",
-        default="dense,sparse,sharded",
-        help="comma-separated engine modes to compare (default: dense,sparse,sharded)",
+        default="dense,sparse,sharded,columnar",
+        help="comma-separated engine modes to compare "
+        "(default: dense,sparse,sharded,columnar)",
     )
     parser.add_argument(
         "--limit", type=int, default=None, help="verify at most this many unique cells"
@@ -594,7 +596,7 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
         "--modes",
         default="dense,sparse",
         help="comma-separated engine modes each cell is compared across "
-        "(default: dense,sparse; add sharded for full coverage). "
+        "(default: dense,sparse; add sharded/columnar for full coverage). "
         "--replay ignores this: each corpus entry replays under the modes "
         "it was recorded with",
     )

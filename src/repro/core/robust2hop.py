@@ -139,13 +139,14 @@ class RobustTwoHopNode(NodeAlgorithm):
                 continue
             if not isinstance(message, EdgeEventMessage):
                 raise TypeError(f"unexpected message type {type(message).__name__}")
-            self._apply_remote_event(sender, message)
+            self._apply_remote_event(sender, message.edge, message.op)
         # Consistency: the queue must be empty and no neighbor may still have
         # pending items.
         self.consistent = (not self.Q) and (not saw_nonempty_neighbor)
 
-    def _apply_remote_event(self, sender: int, message: EdgeEventMessage) -> None:
-        edge = message.edge
+    def _apply_remote_event(self, sender: int, edge: Edge, op: EdgeOp) -> None:
+        # Shared verbatim by the per-envelope path above and the columnar
+        # batched path below -- one implementation, one behavior.
         if self.node_id in edge:
             # The node's own incident edges are tracked authoritatively from
             # its topology indications; remote echoes are ignored.
@@ -153,7 +154,7 @@ class RobustTwoHopNode(NodeAlgorithm):
         if sender not in edge:
             # Announcements always concern an edge incident to the sender.
             return
-        if message.op is EdgeOp.INSERT:
+        if op is EdgeOp.INSERT:
             if sender not in self.adj:
                 # The connecting edge disappeared within this round; without it
                 # the announcement certifies nothing and is dropped (the later
@@ -162,6 +163,80 @@ class RobustTwoHopNode(NodeAlgorithm):
             self.S.setdefault(edge, set()).add(sender)
         else:
             self._drop_claim(edge, sender)
+
+    # ------------------------------------------------------------------ #
+    # Columnar port (ColumnarProtocol)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def columnar_compose(cls, nodes, senders, round_index, buf) -> None:
+        """Batched :meth:`compose_messages`: append rows, skip envelopes.
+
+        Mirrors the per-node method exactly.  A node with an empty queue is
+        silent everywhere and contributes no rows.  Otherwise one item is
+        dequeued; Theorem 7 reports "IsEmpty = empty *after* the dequeue", so
+        when the queue drains this round only the timestamp-qualifying
+        neighbors get a (payload, ``is_empty=True``) row and everyone else
+        sees silence, while a still-non-empty queue reaches every neighbor
+        with ``is_empty=False`` (payload columns ``None`` for non-qualifying
+        neighbors), in ``adj`` iteration order.
+        """
+        ap_s = buf.senders.append
+        ap_t = buf.targets.append
+        ap_e = buf.edges.append
+        ap_o = buf.ops.append
+        ap_p = buf.patterns.append
+        ap_f = buf.empty_flags.append
+        payload_rows = 0
+        flag_rows = 0
+        payload_flag_rows = 0
+        mark_a = PatternMark.A
+        for v in senders:
+            node = nodes[v]
+            q = node.Q
+            if not q:
+                continue
+            item = q.popleft()
+            empty_after = not q
+            edge, op, ts = item.edge, item.op, item.timestamp
+            if empty_after:
+                for u, t_vu in node.adj.items():
+                    if ts >= t_vu:
+                        ap_s(v); ap_t(u); ap_e(edge); ap_o(op); ap_p(mark_a); ap_f(True)
+                        payload_rows += 1
+            else:
+                for u, t_vu in node.adj.items():
+                    ap_s(v); ap_t(u); ap_f(False)
+                    flag_rows += 1
+                    if ts >= t_vu:
+                        ap_e(edge); ap_o(op); ap_p(mark_a)
+                        payload_rows += 1
+                        payload_flag_rows += 1
+                    else:
+                        ap_e(None); ap_o(None); ap_p(None)
+        buf.payload_rows += payload_rows
+        buf.flag_rows += flag_rows
+        buf.payload_flag_rows += payload_flag_rows
+
+    @classmethod
+    def columnar_deliver(cls, nodes, round_index, receivers, buf, groups) -> None:
+        """Batched :meth:`on_messages` over grouped, non-dropped rows."""
+        edges = buf.edges
+        flags = buf.empty_flags
+        row_senders = buf.senders
+        ops = buf.ops
+        for v in receivers:
+            node = nodes[v]
+            rows = groups.get(v)
+            saw_nonempty = False
+            if rows:
+                for i in rows:
+                    if not flags[i]:
+                        saw_nonempty = True
+                    edge = edges[i]
+                    if edge is None:
+                        continue
+                    node._apply_remote_event(row_senders[i], edge, ops[i])
+            node.consistent = (not node.Q) and (not saw_nonempty)
 
     # ------------------------------------------------------------------ #
     # Claim bookkeeping

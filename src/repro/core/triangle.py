@@ -204,16 +204,16 @@ class TriangleMembershipNode(NodeAlgorithm):
             if not isinstance(message, EdgeEventMessage):
                 raise TypeError(f"unexpected message type {type(message).__name__}")
             if message.pattern is PatternMark.A:
-                self._apply_pattern_a(sender, message)
+                self._apply_pattern_a(sender, message.edge, message.op)
             else:
-                self._apply_pattern_b(sender, message)
+                self._apply_pattern_b(sender, message.edge)
         self.consistent = (not self.Q) and (not saw_nonempty_neighbor)
 
     # ------------------------------------------------------------------ #
-    # Message handlers
+    # Message handlers (shared verbatim by the per-envelope path above and
+    # the columnar batched path below -- one implementation, one behavior)
     # ------------------------------------------------------------------ #
-    def _apply_pattern_a(self, sender: int, message: EdgeEventMessage) -> None:
-        edge = message.edge
+    def _apply_pattern_a(self, sender: int, edge: Edge, op: EdgeOp) -> None:
         if sender not in edge:
             # Mark-(a) announcements always concern an edge incident to the sender.
             return
@@ -223,7 +223,7 @@ class TriangleMembershipNode(NodeAlgorithm):
             # the *other* endpoint never lands here (v is in the edge), so
             # nothing else to do.
             return
-        if message.op is EdgeOp.DELETE:
+        if op is EdgeOp.DELETE:
             claims = self.S.get(edge)
             if claims is not None:
                 claims.via.discard(sender)
@@ -247,8 +247,7 @@ class TriangleMembershipNode(NodeAlgorithm):
             self.Q.append(_PatternBItem(canonical_edge(self.node_id, x), target=y))
             self.Q.append(_PatternBItem(canonical_edge(self.node_id, y), target=x))
 
-    def _apply_pattern_b(self, sender: int, message: EdgeEventMessage) -> None:
-        edge = message.edge
+    def _apply_pattern_b(self, sender: int, edge: Edge) -> None:
         if sender not in edge or self.node_id in edge:
             return
         x, y = edge
@@ -258,6 +257,95 @@ class TriangleMembershipNode(NodeAlgorithm):
             return
         claims = self.S.setdefault(edge, _Claims(set(), set()))
         claims.hinted_by.add(sender)
+
+    # ------------------------------------------------------------------ #
+    # Columnar port (ColumnarProtocol)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def columnar_compose(cls, nodes, senders, round_index, buf) -> None:
+        """Batched :meth:`compose_messages`: append rows, skip envelopes.
+
+        Mirrors the per-node method exactly: a node with an empty queue would
+        compose only silent envelopes, so it contributes no rows; a node with
+        a non-empty queue dequeues one item and reaches *every* neighbor with
+        ``is_empty=False`` (payload columns ``None`` where the per-node path
+        would send a payload-free envelope), in ``adj`` iteration order.
+        """
+        ap_s = buf.senders.append
+        ap_t = buf.targets.append
+        ap_e = buf.edges.append
+        ap_o = buf.ops.append
+        ap_p = buf.patterns.append
+        ap_f = buf.empty_flags.append
+        rows_before = len(buf.senders)
+        payload_rows = 0
+        mark_a = PatternMark.A
+        mark_b = PatternMark.B
+        op_delete = EdgeOp.DELETE
+        op_insert = EdgeOp.INSERT
+        for v in senders:
+            node = nodes[v]
+            q = node.Q
+            if not q:
+                continue
+            item = q.popleft()
+            adj = node.adj
+            if type(item) is _PatternAItem:
+                edge, op, ts = item.edge, item.op, item.timestamp
+                if op is op_delete:
+                    for u in adj:
+                        ap_s(v); ap_t(u); ap_e(edge); ap_o(op); ap_p(mark_a); ap_f(False)
+                    payload_rows += len(adj)
+                else:
+                    for u, t_vu in adj.items():
+                        ap_s(v); ap_t(u); ap_f(False)
+                        if ts >= t_vu:
+                            ap_e(edge); ap_o(op); ap_p(mark_a)
+                            payload_rows += 1
+                        else:
+                            ap_e(None); ap_o(None); ap_p(None)
+            else:
+                edge = item.edge
+                other = edge[0] if edge[1] == v else edge[1]
+                target = item.target if (item.target in adj and other in adj) else None
+                for u in adj:
+                    ap_s(v); ap_t(u); ap_f(False)
+                    if u == target:
+                        ap_e(edge); ap_o(op_insert); ap_p(mark_b)
+                        payload_rows += 1
+                    else:
+                        ap_e(None); ap_o(None); ap_p(None)
+        buf.payload_rows += payload_rows
+        # Every triangle row carries is_empty=False (the sender's queue was
+        # non-empty at send), so every row costs its one control bit.
+        buf.flag_rows += len(buf.senders) - rows_before
+        buf.payload_flag_rows += payload_rows
+
+    @classmethod
+    def columnar_deliver(cls, nodes, round_index, receivers, buf, groups) -> None:
+        """Batched :meth:`on_messages` over grouped, non-dropped rows."""
+        edges = buf.edges
+        flags = buf.empty_flags
+        row_senders = buf.senders
+        patterns = buf.patterns
+        ops = buf.ops
+        mark_a = PatternMark.A
+        for v in receivers:
+            node = nodes[v]
+            rows = groups.get(v)
+            saw_nonempty = False
+            if rows:
+                for i in rows:
+                    if not flags[i]:
+                        saw_nonempty = True
+                    edge = edges[i]
+                    if edge is None:
+                        continue
+                    if patterns[i] is mark_a:
+                        node._apply_pattern_a(row_senders[i], edge, ops[i])
+                    else:
+                        node._apply_pattern_b(row_senders[i], edge)
+            node.consistent = (not node.Q) and (not saw_nonempty)
 
     # ------------------------------------------------------------------ #
     # Claim bookkeeping

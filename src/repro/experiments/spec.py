@@ -64,10 +64,12 @@ class ExperimentSpec:
         engine: ``"serial"`` (:class:`~repro.simulator.runner.SimulationRunner`)
             or ``"sharded"`` (:class:`~repro.simulator.parallel.ShardedRoundEngine`).
         engine_mode: round-scheduling mode, ``"sparse"`` (default;
-            activity-proportional, only active nodes are visited) or
-            ``"dense"`` (every node every round).  Both modes produce
-            bit-identical metrics and traces, so this axis is safe to sweep
-            for performance studies.
+            activity-proportional, only active nodes are visited),
+            ``"dense"`` (every node every round) or ``"columnar"``
+            (activity-proportional plus batched struct-of-arrays message
+            routing; serial engine only).  All modes produce bit-identical
+            metrics and traces, so this axis is safe to sweep for
+            performance studies.
         num_workers: shard-process count for the sharded engine.
         record_trace: record the realized schedule for exact replay.
         checks: names of end-of-run checks (see
@@ -124,6 +126,12 @@ class ExperimentSpec:
         if self.engine_mode not in ENGINE_MODES:
             raise ValueError(
                 f"engine_mode must be one of {ENGINE_MODES}, got {self.engine_mode!r}"
+            )
+        if self.engine == "sharded" and self.engine_mode == "columnar":
+            raise ValueError(
+                "engine_mode='columnar' requires engine='serial': the columnar "
+                "engine batches across the whole node population and has no "
+                "sharded counterpart"
             )
         if self.n < 2:
             raise ValueError("n must be at least 2")

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
@@ -96,11 +97,22 @@ class ResultStore:
             handle.flush()
 
     def save_trace(self, cell_id: str, trace: TopologyTrace | Mapping[str, Any]) -> Path:
-        """Persist a cell's realized topology trace; returns the file path."""
+        """Persist a cell's realized topology trace; returns the file path.
+
+        The write is atomic (temp file + ``os.replace``): the supervised
+        worker pool kills writers mid-dump on purpose, and a torn trace where
+        a complete one used to be would poison replay.  ``sort_keys`` keeps
+        re-saves of the same trace byte-identical across runs.
+        """
         self.traces_root.mkdir(parents=True, exist_ok=True)
         data = trace.to_dict() if isinstance(trace, TopologyTrace) else dict(trace)
         path = self.trace_path(cell_id)
-        path.write_text(json.dumps(data))
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_text(json.dumps(data, sort_keys=True))
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
         return path
 
     # ------------------------------------------------------------------ #

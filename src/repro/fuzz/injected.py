@@ -42,14 +42,14 @@ __all__ = [
 class GhostDeleteTriangleNode(TriangleMembershipNode):
     """Injected bug: selectively deaf to far-edge deletion announcements."""
 
-    def _apply_pattern_a(self, sender, message):
+    def _apply_pattern_a(self, sender, edge, op):
         if (
-            message.op is EdgeOp.DELETE
-            and self.node_id not in message.edge
-            and (message.edge[0] + message.edge[1]) % 2 == 1
+            op is EdgeOp.DELETE
+            and self.node_id not in edge
+            and (edge[0] + edge[1]) % 2 == 1
         ):
             return  # the bug: this deletion never reaches the claim table
-        super()._apply_pattern_a(sender, message)
+        super()._apply_pattern_a(sender, edge, op)
 
 
 class LatchedQuiescenceRobustTwoHopNode(RobustTwoHopNode):

@@ -13,8 +13,9 @@ The public surface is:
   :class:`EdgeDelete` -- the ground-truth dynamic graph and its change events.
 * :class:`NodeAlgorithm` -- the per-node algorithm interface.
 * :class:`RoundEngine` / :class:`SparseRoundEngine` /
-  :class:`ShardedRoundEngine` -- dense, activity-proportional and
-  process-parallel round execution (see also :class:`QuiescenceProtocol`).
+  :class:`ColumnarRoundEngine` / :class:`ShardedRoundEngine` -- dense,
+  activity-proportional, vectorized and process-parallel round execution
+  (see also :class:`QuiescenceProtocol` and :class:`ColumnarProtocol`).
 * :class:`SimulationRunner` / :class:`SimulationResult` -- end-to-end
   orchestration of an adversary against an algorithm.
 * :class:`BandwidthPolicy`, :class:`MetricsCollector` -- bandwidth and
@@ -25,6 +26,7 @@ The public surface is:
 
 from .adversary import Adversary, AdversaryView
 from .bandwidth import BandwidthExceededError, BandwidthPolicy, BandwidthViolation
+from .columnar import ColumnarRoundEngine, SendBuffer
 from .events import Edge, EdgeDelete, EdgeInsert, RoundChanges, canonical_edge
 from .messages import (
     EdgeDeleteHopMessage,
@@ -37,9 +39,10 @@ from .messages import (
     id_bits,
 )
 from .metrics import MetricsCollector, RoundRecord
-from .network import DynamicNetwork, NodeIndication, TopologyError
+from .network import AdjacencyMirror, DynamicNetwork, NodeIndication, TopologyError
 from .node import (
     AlgorithmFactory,
+    ColumnarProtocol,
     NodeAlgorithm,
     QuiescenceProtocol,
     canonical_state,
@@ -57,6 +60,7 @@ from .runner import RoundValidator, SimulationResult, SimulationRunner, drive_en
 from .trace import TopologyTrace, TraceRecordingAdversary, TraceReplayAdversary
 
 __all__ = [
+    "AdjacencyMirror",
     "Adversary",
     "AdversaryView",
     "AlgorithmFactory",
@@ -65,6 +69,8 @@ __all__ = [
     "BandwidthViolation",
     "canonical_edge",
     "canonical_state",
+    "ColumnarProtocol",
+    "ColumnarRoundEngine",
     "create_engine",
     "drive_engine",
     "DynamicNetwork",
@@ -88,6 +94,7 @@ __all__ = [
     "RoundEngine",
     "RoundRecord",
     "RoundValidator",
+    "SendBuffer",
     "ShardedRoundEngine",
     "shard_nodes",
     "state_fingerprint",

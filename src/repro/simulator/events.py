@@ -39,10 +39,21 @@ def canonical_edge(u: int, v: int) -> Edge:
     pair sorted in increasing order, which makes edges hashable and directly
     comparable regardless of the order in which endpoints are supplied.
 
+    Endpoints are normalized to the builtin ``int``: the rng-backed
+    adversaries draw node ids through numpy and would otherwise leak
+    ``np.int64`` into :class:`RoundChanges` batches, indications and recorded
+    traces, where ``json.dumps`` raises and reprs (hence fingerprints) drift.
+    Every edge in the code base passes through here, so this is the single
+    choke point that keeps traces JSON-serializable and hash-stable.
+
     Raises:
         ValueError: if ``u == v`` (self loops are not part of the model) or if
             either endpoint is negative.
     """
+    if type(u) is not int:
+        u = int(u)
+    if type(v) is not int:
+        v = int(v)
     if u == v:
         raise ValueError(f"self loops are not allowed: ({u}, {v})")
     if u < 0 or v < 0:

@@ -54,6 +54,7 @@ __all__ = [
     "NodeAlgorithm",
     "AlgorithmFactory",
     "QuiescenceProtocol",
+    "ColumnarProtocol",
     "canonical_state",
     "state_fingerprint",
 ]
@@ -133,6 +134,53 @@ class QuiescenceProtocol(Protocol):
 
     def is_quiescent(self) -> bool:
         """Whether skipping this node's hooks is currently a no-op."""
+        ...
+
+
+@runtime_checkable
+class ColumnarProtocol(Protocol):
+    """The batched send/receive surface consumed by the columnar round engine.
+
+    An algorithm class implementing this protocol lets the
+    :class:`~repro.simulator.columnar.ColumnarRoundEngine` run the *react &
+    send* and *receive & update* half-rounds over **all** of the class's
+    active nodes at once, writing rows into a shared per-round
+    :class:`~repro.simulator.columnar.SendBuffer` (struct-of-arrays: parallel
+    ``senders`` / ``targets`` / ``edges`` / ``ops`` / ``patterns`` /
+    ``empty_flags`` columns) instead of allocating one
+    :class:`~repro.simulator.messages.Envelope` per link.  Per-node state
+    stays authoritative in the instances -- queries, consistency checks and
+    :func:`state_fingerprint` are untouched -- only the message traffic is
+    columnar.
+
+    Contract (pinned by the differential identity gate):
+
+    * ``columnar_compose`` must mutate each sender exactly as
+      ``compose_messages`` would (queue dequeues included) and append one row
+      per **non-silent** envelope, in the same per-sender target order that
+      ``compose_messages`` iterates, with the row's ``edge``/``op``/
+      ``pattern`` matching the envelope payload (``None`` columns for a
+      payload-free "queue non-empty" signal) and ``empty_flag`` matching the
+      envelope's ``is_empty`` bit.
+    * ``columnar_deliver`` must be observationally identical to calling
+      ``on_messages`` per receiver with an inbox holding exactly the rows of
+      ``groups[receiver]`` keyed by sender in row order.  Receivers without a
+      group entry received nothing and must still run their empty-inbox
+      update.
+
+    Classes not implementing the protocol fall back to the sparse per-node
+    path inside the same engine, so every registered algorithm still runs
+    under ``engine_mode="columnar"``.
+    """
+
+    @classmethod
+    def columnar_compose(cls, nodes, senders, round_index, buf) -> None:
+        """Batched ``compose_messages`` over ``senders`` (ascending ids)."""
+        ...
+
+    @classmethod
+    def columnar_deliver(cls, nodes, round_index, receivers, buf, groups) -> None:
+        """Batched ``on_messages`` over ``receivers`` (ascending ids)."""
         ...
 
 

@@ -51,7 +51,7 @@ from .node import NodeAlgorithm
 __all__ = ["RoundEngine", "SparseRoundEngine", "MessageTargetError", "ENGINE_MODES", "create_engine"]
 
 #: The selectable scheduler implementations, keyed by CLI / spec name.
-ENGINE_MODES = ("dense", "sparse")
+ENGINE_MODES = ("dense", "sparse", "columnar")
 
 #: Shared empty inbox handed to nodes that received nothing this round, so
 #: quiet nodes do not cost one dict allocation each per round.  Read-only so
@@ -88,8 +88,18 @@ class RoundEngine:
         metrics: Optional[MetricsCollector] = None,
         faults=None,
     ) -> None:
-        if set(nodes.keys()) != set(network.nodes):
-            raise ValueError("nodes mapping must cover exactly the network's nodes")
+        # O(1)-ish cover check: n distinct keys within [0, n) are exactly
+        # range(n), so lengths plus min/max bounds replace materializing two
+        # n-element sets on every engine construction (each differential leg
+        # builds an engine, so this used to cost O(n) per mode).
+        n = network.n
+        if len(nodes) != n or (nodes and (min(nodes) < 0 or max(nodes) >= n)):
+            missing = sorted(set(network.nodes) - set(nodes))
+            unexpected = sorted(k for k in nodes if not (0 <= k < n))
+            raise ValueError(
+                "nodes mapping must cover exactly the network's nodes: "
+                f"missing ids {missing[:8]}, unexpected ids {unexpected[:8]}"
+            )
         self.network = network
         self.nodes: Dict[int, NodeAlgorithm] = dict(nodes)
         self.bandwidth = bandwidth if bandwidth is not None else BandwidthPolicy()
@@ -490,8 +500,13 @@ def create_engine(
     metrics: Optional[MetricsCollector] = None,
     faults=None,
 ) -> RoundEngine:
-    """Build a round engine by mode name (``"dense"`` or ``"sparse"``)."""
+    """Build a round engine by mode name (``"dense"``, ``"sparse"`` or ``"columnar"``)."""
     if mode not in ENGINE_MODES:
         raise ValueError(f"engine mode must be one of {ENGINE_MODES}, got {mode!r}")
+    if mode == "columnar":
+        # Imported lazily: columnar.py imports from this module.
+        from .columnar import ColumnarRoundEngine
+
+        return ColumnarRoundEngine(network, nodes, bandwidth, metrics, faults)
     cls = SparseRoundEngine if mode == "sparse" else RoundEngine
     return cls(network, nodes, bandwidth, metrics, faults)

@@ -1,8 +1,9 @@
 """Cross-engine differential verification of experiment cells.
 
-The repo ships three round schedulers -- the dense reference engine, the
-activity-proportional sparse engine, and the multi-process sharded engine --
-that are required to be **bit-identical**: same
+The repo ships four round schedulers -- the dense reference engine, the
+activity-proportional sparse engine, the multi-process sharded engine, and
+the vectorized columnar engine -- that are required to be **bit-identical**:
+same
 :class:`~repro.simulator.metrics.RoundRecord` stream, same realized topology
 trace, same summary metrics, and same final per-node state.  This module
 turns that requirement into an executable check:
@@ -64,7 +65,10 @@ __all__ = [
 ]
 
 #: The engine modes a differential run compares by default.
-DEFAULT_MODES: Tuple[str, ...] = ("dense", "sparse", "sharded")
+DEFAULT_MODES: Tuple[str, ...] = ("dense", "sparse", "sharded", "columnar")
+
+#: Modes executed in-process through :func:`run_reference`.
+_SERIAL_MODES = ("dense", "sparse", "columnar")
 
 #: RoundRecord fields compared per round, in report order.
 _RECORD_FIELDS = (
@@ -235,7 +239,7 @@ def _summary_of(metrics, bandwidth, n: int, num_edges: int) -> Dict[str, float]:
 def _run_mode(
     spec: ExperimentSpec, mode: str, checks: Sequence[str]
 ) -> Tuple[ModeRun, Dict[str, CheckOutcome]]:
-    if mode in ("dense", "sparse"):
+    if mode in _SERIAL_MODES:
         result, outcomes = run_reference(spec, engine_mode=mode, checks=checks)
         fingerprints = {v: algo.state_fingerprint() for v, algo in result.nodes.items()}
         summary = _summary_of(
@@ -393,9 +397,10 @@ def run_differential(
     Args:
         spec: the cell to verify; its ``engine`` / ``engine_mode`` fields are
             ignored (the modes argument decides what runs).
-        modes: two or more of ``"dense"``, ``"sparse"``, ``"sharded"``.  The
-            first *serial* mode acts as the reference leg and is the one the
-            checks run on (checks need direct access to node instances).
+        modes: two or more of ``"dense"``, ``"sparse"``, ``"sharded"``,
+            ``"columnar"``.  The first *serial* mode acts as the reference
+            leg and is the one the checks run on (checks need direct access
+            to node instances).
         checks: check names to run; defaults to ``spec.checks``.
         auto_checks: select every applicable registered check instead.
 
@@ -418,7 +423,7 @@ def run_differential(
         )
     else:
         check_names = tuple(spec.checks if checks is None else checks)
-    serial_modes = [m for m in modes if m in ("dense", "sparse")]
+    serial_modes = [m for m in modes if m in _SERIAL_MODES]
     check_mode = serial_modes[0] if serial_modes else None
 
     runs: Dict[str, ModeRun] = {}

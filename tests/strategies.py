@@ -9,8 +9,9 @@ Used by the property-based tests to generate
   (the generated schedule, replayed bit-for-bit by every engine) or a seeded
   random churn adversary, and small sizes/budgets that keep each example fast.
 
-The spec strategy is what the dense-vs-sparse-vs-sharded differential
-property test feeds to :func:`repro.verification.run_differential`.
+The spec strategy is what the engine differential property tests (dense vs
+sparse vs sharded vs columnar, optionally under fault models and telemetry)
+feed to :func:`repro.verification.run_differential`.
 """
 
 from typing import List, Tuple
@@ -19,7 +20,12 @@ from hypothesis import strategies as st
 
 from repro.experiments import ExperimentSpec
 
-__all__ = ["churn_schedules", "experiment_specs", "schedule_to_trace"]
+__all__ = [
+    "churn_schedules",
+    "experiment_specs",
+    "fault_configs",
+    "schedule_to_trace",
+]
 
 
 @st.composite
@@ -66,17 +72,47 @@ def schedule_to_trace(n: int, rounds) -> dict:
 SPEC_ALGORITHMS = ("robust2hop", "triangle", "clique", "robust3hop", "twohop", "cycles")
 
 
+#: Fault models the random-spec strategy draws from, with legal parameter
+#: draws for each (the registry's remaining models are covered by the
+#: explicit fault grid in test_faults / test_columnar_engine).
+_FAULT_AXES = (
+    ("uniform_loss", lambda draw: {"p": draw(st.sampled_from((0.2, 0.5)))}),
+    (
+        "crash",
+        lambda draw: {
+            "crash_p": draw(st.sampled_from((0.3, 0.6))),
+            "cycle": 5,
+            "downtime": 2,
+        },
+    ),
+    ("partition", lambda draw: {"period": 5, "split": 2}),
+)
+
+
 @st.composite
-def experiment_specs(draw, max_n: int = 9):
+def fault_configs(draw):
+    """Draw a ``(faults, fault_params)`` pair legal for any spec size."""
+    name, params_for = draw(st.sampled_from(_FAULT_AXES))
+    return name, params_for(draw)
+
+
+@st.composite
+def experiment_specs(draw, max_n: int = 9, with_faults: bool = False):
     """Generate a small random :class:`ExperimentSpec` cell.
 
     The workload is either the exact schedule of :func:`churn_schedules`
     (as an inline scripted trace) or a seeded random churn adversary; both
     are deterministic given the spec, so the same cell replays identically
-    under every engine.
+    under every engine.  With ``with_faults`` the cell also draws a fault
+    model from :data:`_FAULT_AXES` (or none), exercising the engines'
+    fault-overlay paths.
     """
     algorithm = draw(st.sampled_from(SPEC_ALGORITHMS))
     n = draw(st.integers(min_value=5, max_value=max_n))
+    fault_kwargs = {}
+    if with_faults and draw(st.booleans()):
+        faults, fault_params = draw(fault_configs())
+        fault_kwargs = {"faults": faults, "fault_params": fault_params}
     use_scripted = draw(st.booleans())
     if use_scripted:
         rounds = draw(churn_schedules(n=n, max_rounds=10, max_events_per_round=3))
@@ -86,6 +122,7 @@ def experiment_specs(draw, max_n: int = 9):
             n=n,
             adversary_params={"trace": schedule_to_trace(n, rounds)},
             num_workers=draw(st.integers(min_value=2, max_value=3)),
+            **fault_kwargs,
         )
     adversary = draw(st.sampled_from(("churn", "p2p")))
     params = {}
@@ -102,4 +139,5 @@ def experiment_specs(draw, max_n: int = 9):
         seed=draw(st.integers(min_value=0, max_value=2**16)),
         adversary_params=params,
         num_workers=draw(st.integers(min_value=2, max_value=3)),
+        **fault_kwargs,
     )

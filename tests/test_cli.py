@@ -276,7 +276,7 @@ class TestVerifySubcommand:
 
     def test_parser_defaults(self, spec_file):
         args = build_verify_parser().parse_args(["--spec", str(spec_file)])
-        assert args.modes == "dense,sparse,sharded"
+        assert args.modes == "dense,sparse,sharded,columnar"
         assert not args.no_coverage and not args.require_all_checks
 
     def test_verify_dedupes_engine_axis_and_passes(self, spec_file, capsys):

@@ -72,3 +72,33 @@ class TestRoundChanges:
         kinds = [ev.is_delete for ev in rc]
         # Deletions are listed before insertions by the builder.
         assert kinds == [True, False]
+
+
+class TestNumpyCoercion:
+    """Numpy integers entering the event layer become builtin ints (satellite
+    of the columnar PR: numpy-backed adversaries used to leak ``np.int64``
+    endpoints into traces, breaking JSON serialization and fingerprints)."""
+
+    def test_canonical_edge_coerces_numpy_ints(self):
+        np = pytest.importorskip("numpy")
+        edge = canonical_edge(np.int64(5), np.int32(2))
+        assert edge == (2, 5)
+        assert type(edge[0]) is int and type(edge[1]) is int
+
+    def test_events_built_from_numpy_ints_serialize(self):
+        import json
+
+        np = pytest.importorskip("numpy")
+        rc = RoundChanges.of(
+            insert=[(np.int64(1), np.int64(2))], delete=[(np.int32(4), np.int32(3))]
+        )
+        payload = {
+            "insert": [list(e) for e in rc.insertions],
+            "delete": [list(e) for e in rc.deletions],
+        }
+        assert json.loads(json.dumps(payload)) == {
+            "insert": [[1, 2]],
+            "delete": [[3, 4]],
+        }
+        for edge in rc.insertions + rc.deletions:
+            assert all(type(x) is int for x in edge)

@@ -2,6 +2,12 @@
 
 from __future__ import annotations
 
+import json
+import os
+import signal
+import sys
+import textwrap
+
 import pytest
 
 from repro.experiments import ResultStore, percentile
@@ -111,6 +117,74 @@ class TestTraces:
         store = ResultStore(tmp_path / "s")
         with pytest.raises(FileNotFoundError):
             store.load_trace("nope")
+
+    def test_repeated_saves_byte_identical(self, tmp_path):
+        """sort_keys pins the on-disk bytes across re-saves of the same trace."""
+        store = ResultStore(tmp_path / "s")
+        trace = TopologyTrace(n=5)
+        trace.rounds.append(([(0, 1), (3, 4)], []))
+        first = store.save_trace("cell-x", trace).read_bytes()
+        second = store.save_trace("cell-x", trace).read_bytes()
+        assert first == second
+        # Field order in the source dict must not matter either.
+        as_dict = trace.to_dict()
+        reordered = {k: as_dict[k] for k in reversed(list(as_dict))}
+        assert store.save_trace("cell-x", reordered).read_bytes() == first
+
+    def test_no_temp_file_left_after_save(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        trace = TopologyTrace(n=3)
+        store.save_trace("cell-x", trace)
+        leftovers = [p for p in store.traces_root.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_writer_killed_mid_dump_leaves_old_trace_intact(self, tmp_path):
+        """Regression: save_trace used to write the destination in place, so a
+        writer killed mid-dump left a torn, unparseable file where a complete
+        trace used to be.  With the temp-file + os.replace protocol the
+        destination always holds some complete, valid trace."""
+        import subprocess
+        import time
+
+        store = ResultStore(tmp_path / "s")
+        good = TopologyTrace(n=4)
+        good.rounds.append(([(0, 1)], []))
+        path = store.save_trace("cell-x", good)
+        good_dict = json.loads(path.read_text())
+        big_dict = {
+            "n": 4,
+            "rounds": [{"insert": [[0, 1], [1, 2], [2, 3]], "delete": []}] * 5000,
+        }
+
+        # The child overwrites cell-x with the large trace, forever.
+        writer = textwrap.dedent(
+            f"""
+            import json, sys
+            from repro.experiments import ResultStore
+            store = ResultStore({str(tmp_path / "s")!r})
+            big = json.loads(sys.stdin.read())
+            while True:
+                store.save_trace("cell-x", big)
+            """
+        )
+        for _ in range(5):
+            import repro
+
+            src_root = os.path.dirname(os.path.dirname(repro.__file__))
+            proc = subprocess.Popen(
+                [sys.executable, "-c", writer],
+                stdin=subprocess.PIPE,
+                env={**os.environ, "PYTHONPATH": src_root},
+            )
+            proc.stdin.write(json.dumps(big_dict).encode())
+            proc.stdin.close()
+            time.sleep(0.15)
+            proc.send_signal(signal.SIGKILL)
+            proc.wait()
+            # Whatever the kill interrupted, the visible file is one of the
+            # two complete traces -- never a torn prefix.
+            loaded = json.loads(path.read_text())
+            assert loaded in (good_dict, big_dict)
 
 
 class TestAggregation:

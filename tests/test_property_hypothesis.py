@@ -9,9 +9,10 @@ invariants on every one of them:
   never believes in a triangle that does not exist while it claims consistency;
 * Theorem 6 -- the robust 3-hop structure satisfies its sandwich once drained;
 * the simulator's amortized accounting never exceeds the number of rounds;
-* the dense, sparse and sharded engines produce bit-identical round records,
-  traces, metrics and final node state on arbitrary cells (the differential
-  harness of :mod:`repro.verification`).
+* the dense, sparse, sharded and columnar engines produce bit-identical round
+  records, traces, metrics and final node state on arbitrary cells -- with and
+  without fault models and telemetry (the differential harness of
+  :mod:`repro.verification`).
 """
 
 from hypothesis import HealthCheck, given, settings
@@ -138,7 +139,7 @@ class TestMetricsProperties:
 
 
 class TestEngineDifferentialProperties:
-    """Random cells through the differential harness: the three engines must agree."""
+    """Random cells through the differential harness: all four engines must agree."""
 
     @settings(
         max_examples=8,
@@ -158,6 +159,33 @@ class TestEngineDifferentialProperties:
         suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
     )
     @given(spec=experiment_specs())
-    def test_dense_sparse_identical(self, spec):
-        report = run_differential(spec, modes=("dense", "sparse"), auto_checks=True)
+    def test_dense_sparse_columnar_identical(self, spec):
+        report = run_differential(
+            spec, modes=("dense", "sparse", "columnar"), auto_checks=True
+        )
+        assert report.ok, report.describe()
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(spec=experiment_specs(with_faults=True), telemetry=st.booleans())
+    def test_all_modes_faults_telemetry_identical(self, spec, telemetry):
+        """The full matrix: four engines x (maybe) a fault model x telemetry.
+
+        Fingerprint identity must hold with the telemetry singleton enabled
+        (which also disables the columnar quiet-round fast path, covering
+        both of its round shapes) exactly as with it off.
+        """
+        from repro.obs import TELEMETRY
+
+        modes = ("dense", "sparse", "sharded", "columnar")
+        if telemetry:
+            TELEMETRY.enable()
+        try:
+            report = run_differential(spec, modes=modes)
+        finally:
+            if telemetry:
+                TELEMETRY.disable()
         assert report.ok, report.describe()
