@@ -62,6 +62,17 @@ from .core import (
 from .monitor import DynamicGraphMonitor, MonitorAnswer
 from .obs import TELEMETRY, CampaignProgress, Histogram, Telemetry, TelemetrySink
 from .oracle import GroundTruthOracle
+from .serve import (
+    AnswerChanged,
+    EventSource,
+    LogConverter,
+    LogEventSource,
+    MonitorService,
+    ServingMonitor,
+    ServingReport,
+    SubscriptionRegistry,
+    TraceEventSource,
+)
 from .simulator import (
     DynamicNetwork,
     MetricsCollector,
@@ -74,6 +85,7 @@ from .simulator import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnswerChanged",
     "BatchInsertAdversary",
     "CampaignProgress",
     "CliqueMembershipNode",
@@ -84,14 +96,18 @@ __all__ = [
     "DynamicGraphMonitor",
     "DynamicNetwork",
     "EdgeQuery",
+    "EventSource",
     "FlickerTriangleAdversary",
     "FullBroadcastNode",
     "GroundTruthOracle",
     "HeavyTailedChurnAdversary",
     "Histogram",
+    "LogConverter",
+    "LogEventSource",
     "MembershipLowerBoundAdversary",
     "MetricsCollector",
     "MonitorAnswer",
+    "MonitorService",
     "NaiveForwardingNode",
     "QueryResult",
     "RandomChurnAdversary",
@@ -100,12 +116,16 @@ __all__ = [
     "RoundChanges",
     "RoundEngine",
     "ScriptedAdversary",
+    "ServingMonitor",
+    "ServingReport",
     "SimulationResult",
     "SimulationRunner",
+    "SubscriptionRegistry",
     "TELEMETRY",
     "Telemetry",
     "TelemetrySink",
     "ThreePathLowerBoundAdversary",
+    "TraceEventSource",
     "TriangleMembershipNode",
     "TriangleQuery",
     "TwoHopListingNode",

@@ -38,6 +38,14 @@ Installed as the ``repro-dynamic-subgraphs`` console script.  Three modes:
       repro-dynamic-subgraphs telemetry report --store campaigns/sweep
       repro-dynamic-subgraphs telemetry report --store campaigns/sweep --json report.json
 
+* the ``serve`` subcommand runs the serving stack (:mod:`repro.serve`) over an
+  event source -- a registered adversary, a recorded trace, or an external
+  JSONL link-event log -- with standing subscriptions loaded from a JSON spec,
+  printing every fired notification and the serving report::
+
+      repro-dynamic-subgraphs serve --source log --log churn.jsonl --nodes 50 \\
+          --structure triangle --subscriptions subs.json
+
 Every subcommand takes ``--log-level`` to tune the ``repro.*`` logging
 hierarchy (the library itself never prints; diagnostics go through
 :mod:`logging`).
@@ -80,10 +88,12 @@ __all__ = [
     "build_verify_parser",
     "build_fuzz_parser",
     "build_telemetry_parser",
+    "build_serve_parser",
     "campaign_main",
     "verify_main",
     "fuzz_main",
     "telemetry_main",
+    "serve_main",
 ]
 
 
@@ -848,6 +858,196 @@ def telemetry_main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+# --------------------------------------------------------------------- #
+# serve subcommand
+# --------------------------------------------------------------------- #
+def build_serve_parser() -> argparse.ArgumentParser:
+    """The ``serve`` subcommand parser (exposed for testing)."""
+    from .serve import EVENT_SOURCES
+    from .serve.core import STRUCTURES
+    from .serve.subscriptions import DEFAULT_SETTLE_STREAK
+
+    parser = argparse.ArgumentParser(
+        prog="repro-dynamic-subgraphs serve",
+        description="Run the serving stack over an event source: ingest one batch "
+        "per round into a monitored graph, re-evaluate the standing subscriptions "
+        "whose dirty region was touched, print every fired notification and the "
+        "serving report (throughput, evaluations, state fingerprint).",
+    )
+    parser.add_argument(
+        "--source",
+        choices=EVENT_SOURCES,
+        default="adversary",
+        help="where batches come from: a registered adversary (--adversary), a "
+        "recorded trace (--trace), or an external JSONL link-event log (--log)",
+    )
+    parser.add_argument("--nodes", type=int, default=30)
+    parser.add_argument(
+        "--structure",
+        choices=sorted(STRUCTURES),
+        default="triangle",
+        help="the data structure every node runs",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=[mode for mode in sorted(ENGINE_MODES) if mode != "sharded"],
+        default="sparse",
+        help="serial round scheduler (the process-parallel 'sharded' engine "
+        "cannot serve in-process queries and is rejected)",
+    )
+    parser.add_argument(
+        "--subscriptions",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="JSON list of standing-query specs, each "
+        '{"kind": "edge"|"triangle"|"clique"|"cycle", ...params, "id": optional}',
+    )
+    parser.add_argument(
+        "--adversary",
+        choices=sorted(ADVERSARIES),
+        default="churn",
+        help="schedule generator for --source adversary",
+    )
+    parser.add_argument("--rounds", type=int, default=200, help="batch cap for --source adversary")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--trace", type=Path, default=None, help="trace JSON to replay (--source trace)"
+    )
+    parser.add_argument(
+        "--log", type=Path, default=None, help="JSONL link-event log to ingest (--source log)"
+    )
+    parser.add_argument(
+        "--round-duration",
+        type=float,
+        default=1.0,
+        help="seconds of log time per served round (--source log)",
+    )
+    parser.add_argument(
+        "--max-quiet-gap",
+        type=int,
+        default=None,
+        help="clamp quiet-round gaps between log buckets (--source log)",
+    )
+    parser.add_argument(
+        "--settle-rounds",
+        type=int,
+        default=10,
+        help="quiet rounds served after the source drains, letting in-flight "
+        "changes reach their subscriptions",
+    )
+    parser.add_argument(
+        "--settle-streak",
+        type=int,
+        default=DEFAULT_SETTLE_STREAK,
+        help="consecutive definite answers after which a touched subscription "
+        "goes quiet",
+    )
+    parser.add_argument(
+        "--bandwidth-factor", type=int, default=8, help="per-link budget = factor * ceil(log2 n) bits"
+    )
+    parser.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the full serving report (including the firing log) as JSON",
+    )
+    parser.add_argument(
+        "--telemetry-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="stream telemetry snapshots (ingest spans, answer-latency "
+        "percentiles, subscription counters) to this JSONL file",
+    )
+    _add_log_level(parser)
+    return parser
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``serve`` subcommand."""
+    from .serve import (
+        AdversaryEventSource,
+        LogConversionError,
+        LogEventSource,
+        MonitorService,
+        TraceEventSource,
+    )
+
+    args = build_serve_parser().parse_args(argv)
+    configure_logging(args.log_level)
+    try:
+        service = MonitorService(
+            args.nodes,
+            args.structure,
+            engine_mode=args.engine,
+            settle_streak=args.settle_streak,
+            bandwidth_factor=args.bandwidth_factor,
+        )
+        if args.subscriptions is not None:
+            specs = json.loads(args.subscriptions.read_text())
+            if not isinstance(specs, list):
+                raise ValueError(
+                    f"{args.subscriptions} must hold a JSON list of subscription specs"
+                )
+            service.registry.register_all(specs)
+        if args.source == "adversary":
+            adversary = build_adversary(
+                args.adversary, n=args.nodes, rounds=args.rounds, seed=args.seed
+            )
+            source = AdversaryEventSource(adversary, rounds=args.rounds)
+        elif args.source == "trace":
+            if args.trace is None:
+                raise ValueError("--source trace requires --trace FILE")
+            source = TraceEventSource.load(args.trace)
+        else:
+            if args.log is None:
+                raise ValueError("--source log requires --log FILE")
+            source = LogEventSource(
+                args.log,
+                n=args.nodes,
+                round_duration=args.round_duration,
+                max_quiet_gap=args.max_quiet_gap,
+            )
+            print(
+                "log normalized: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(source.stats.items()))
+            )
+    except (OSError, ValueError, KeyError, TypeError, LogConversionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    telemetry_on = args.telemetry_out is not None
+    if telemetry_on:
+        from .obs import TELEMETRY, TelemetrySink
+
+        TELEMETRY.enable(sink=TelemetrySink(args.telemetry_out), label="serve")
+    try:
+        report = service.run(
+            source,
+            max_batches=args.rounds,
+            settle_rounds=args.settle_rounds,
+            on_notification=lambda note: print(
+                f"round {note.round_index:>5}  {note.subscription_id} ({note.kind}): "
+                f"{note.old} -> {note.new}"
+            ),
+        )
+    finally:
+        if telemetry_on:
+            from .obs import TELEMETRY
+
+            TELEMETRY.disable()
+            print(f"telemetry written to {args.telemetry_out}")
+    summary = report.to_dict()
+    summary.pop("firings")
+    print(format_table(["metric", "value"], sorted(summary.items())))
+    if args.report is not None:
+        args.report.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+        print(f"report written to {args.report}")
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -859,6 +1059,8 @@ def main(argv=None) -> int:
         return fuzz_main(argv[1:])
     if argv and argv[0] == "telemetry":
         return telemetry_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     return _run_single(args)
 

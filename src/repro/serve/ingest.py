@@ -1,0 +1,406 @@
+"""Event-stream ingestion: where the serving monitor's batches come from.
+
+The serving subsystem separates *what drives the graph* from *what maintains
+and answers it*.  This module owns the driving side:
+
+* :class:`EventSource` -- the abstraction: one canonical
+  :class:`~repro.simulator.events.RoundChanges` batch per round, pulled by
+  the service loop.
+* :class:`AdversaryEventSource` -- wraps any registered
+  :class:`~repro.simulator.adversary.Adversary` (flicker, heavy-tailed p2p
+  churn, fuzz schedules, ...), feeding it a live
+  :class:`~repro.simulator.adversary.AdversaryView` of the served graph so
+  stability-waiting schedules work unchanged.
+* :class:`TraceEventSource` -- replays a recorded
+  :class:`~repro.simulator.trace.TopologyTrace`.
+* :class:`LogEventSource` / :class:`LogConverter` -- the normalized-ingest
+  path for **external** feeds: timestamped link up/down records (JSONL) are
+  bucketed into rounds, coalesced (last event per edge per round wins),
+  de-no-op'd against the tracked link state, validated against ``range(n)``
+  and frozen into a replayable :class:`TopologyTrace` -- so recorded
+  real-world churn becomes a first-class workload for the campaign, fuzz and
+  differential machinery, not just for serving.
+
+Log record format (one JSON object per line)::
+
+    {"ts": 12.25, "u": 3, "v": 7, "op": "up"}
+    {"ts": 12.75, "u": 3, "v": 7, "op": "down"}
+
+``op`` accepts ``up``/``down`` (aliases: ``insert``/``delete``).  Rounds are
+``floor((ts - first_ts) / round_duration)``; a record may instead carry an
+explicit integer ``round`` field, which takes precedence.
+"""
+
+from __future__ import annotations
+
+import json
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from ..simulator.adversary import Adversary, AdversaryView
+from ..simulator.events import (
+    Edge,
+    EdgeDelete,
+    EdgeInsert,
+    RoundChanges,
+    TopologyEvent,
+    canonical_edge,
+)
+from ..simulator.trace import TopologyTrace
+
+__all__ = [
+    "EventSource",
+    "AdversaryEventSource",
+    "TraceEventSource",
+    "LogEventSource",
+    "LogConverter",
+    "ConvertedLog",
+    "LogConversionError",
+    "EVENT_SOURCES",
+]
+
+
+class EventSource(ABC):
+    """A pull-based stream of per-round topology batches.
+
+    The service loop calls :meth:`next_batch` once per round, handing the
+    source the monitor it is driving (so adversaries can observe the served
+    graph exactly as they observe a simulation).  ``None`` means the source
+    is exhausted and the service stops ingesting.
+    """
+
+    @abstractmethod
+    def next_batch(self, monitor) -> Optional[RoundChanges]:
+        """The batch for the upcoming round, or ``None`` when exhausted."""
+
+    @property
+    def is_done(self) -> bool:
+        """Whether the source has no further batches to offer."""
+        return False
+
+
+class AdversaryEventSource(EventSource):
+    """Drive the monitor from any :class:`~repro.simulator.adversary.Adversary`.
+
+    Args:
+        adversary: the schedule generator.
+        rounds: optional hard cap on the number of batches produced;
+            required for open-ended adversaries (ones whose ``is_done``
+            never fires), mirroring
+            :func:`~repro.simulator.runner.drive_engine`.
+    """
+
+    def __init__(self, adversary: Adversary, *, rounds: Optional[int] = None) -> None:
+        self.adversary = adversary
+        self.rounds = rounds
+        self._produced = 0
+        self._exhausted = False
+
+    def next_batch(self, monitor) -> Optional[RoundChanges]:
+        if self.is_done:
+            return None
+        view = AdversaryView.from_network(
+            monitor.network,
+            round_index=monitor.network.round_index + 1,
+            all_consistent=monitor.all_consistent,
+        )
+        changes = self.adversary.changes_for_round(view)
+        if changes is None:
+            self._exhausted = True
+            return None
+        self._produced += 1
+        return changes
+
+    @property
+    def is_done(self) -> bool:
+        if self._exhausted or self.adversary.is_done:
+            return True
+        return self.rounds is not None and self._produced >= self.rounds
+
+
+class TraceEventSource(EventSource):
+    """Replay a recorded :class:`TopologyTrace` batch by batch.
+
+    The trace is validated against its declared node range up front, like
+    :class:`~repro.simulator.trace.TraceReplayAdversary`.
+    """
+
+    def __init__(self, trace: TopologyTrace) -> None:
+        self.trace = trace.validate_nodes()
+        self._cursor = 0
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "TraceEventSource":
+        return cls(TopologyTrace.load(path))
+
+    def next_batch(self, monitor) -> Optional[RoundChanges]:
+        if self._cursor >= self.trace.num_rounds:
+            return None
+        changes = self.trace.changes_for(self._cursor)
+        self._cursor += 1
+        return changes
+
+    @property
+    def is_done(self) -> bool:
+        return self._cursor >= self.trace.num_rounds
+
+
+# --------------------------------------------------------------------- #
+# External log ingestion
+# --------------------------------------------------------------------- #
+class LogConversionError(ValueError):
+    """A log record could not be normalized (bad shape, bad ids, bad op)."""
+
+
+#: Accepted spellings of the two link transitions.
+_OPS = {
+    "up": True,
+    "insert": True,
+    "down": False,
+    "delete": False,
+}
+
+
+@dataclass
+class ConvertedLog:
+    """Result of one :class:`LogConverter` run.
+
+    Attributes:
+        trace: the replayable normalized schedule (round 0 is the first
+            bucket of the feed).
+        stats: conversion accounting -- ``records_read``, ``events_emitted``,
+            ``coalesced_dropped`` (superseded by a later event for the same
+            edge in the same round), ``noop_dropped`` (transitions matching
+            the already-tracked link state), ``rounds``, ``quiet_rounds``.
+    """
+
+    trace: TopologyTrace
+    stats: Dict[str, int] = field(default_factory=dict)
+
+
+class LogConverter:
+    """Normalize timestamped link up/down records into canonical round batches.
+
+    The converter is the boundary between messy external feeds and the
+    simulator's strict event vocabulary:
+
+    * **bucketing** -- timestamps map to round indices via ``round_duration``
+      (records may carry an explicit ``round`` instead); gaps between buckets
+      become quiet rounds, preserving the feed's real-time pacing in round
+      units (``max_quiet_gap`` clamps pathological gaps).
+    * **coalescing** -- within one round, the *last* event per edge wins
+      (:meth:`RoundChanges.coalesce`), because all changes of a round are
+      simultaneous in the model and a batch may touch each edge at most once.
+    * **de-no-op'ing** -- the converter tracks link state across rounds and
+      drops transitions to the state a link is already in (duplicate "up"
+      reports, deletes of unknown links), which real feeds are full of.
+    * **validation** -- node ids must be integers in ``range(n)``, ``u != v``;
+      the first offending record is named with its line number.
+
+    Args:
+        n: node-id universe of the served graph.
+        round_duration: seconds of feed time per simulated round (ignored for
+            records carrying an explicit ``round``).
+        origin_ts: timestamp mapping to round 0; defaults to the first
+            record's timestamp.
+        max_quiet_gap: if set, consecutive quiet rounds between buckets are
+            clamped to this many.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        round_duration: float = 1.0,
+        origin_ts: Optional[float] = None,
+        max_quiet_gap: Optional[int] = None,
+    ) -> None:
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if round_duration <= 0:
+            raise ValueError("round_duration must be positive")
+        if max_quiet_gap is not None and max_quiet_gap < 0:
+            raise ValueError("max_quiet_gap must be non-negative")
+        self.n = n
+        self.round_duration = float(round_duration)
+        self.origin_ts = origin_ts
+        self.max_quiet_gap = max_quiet_gap
+
+    # ------------------------------------------------------------------ #
+    # Entry points
+    # ------------------------------------------------------------------ #
+    def convert_file(self, path: Union[str, Path]) -> ConvertedLog:
+        """Convert a JSONL log file."""
+        return self.convert_lines(Path(path).read_text().splitlines())
+
+    def convert_lines(self, lines: Iterable[str]) -> ConvertedLog:
+        """Convert an iterable of JSONL lines (blank lines are skipped)."""
+        records = []
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise LogConversionError(f"line {lineno}: invalid JSON ({exc})") from exc
+            if not isinstance(record, dict):
+                raise LogConversionError(f"line {lineno}: expected a JSON object")
+            records.append((lineno, record))
+        return self.convert_records(records)
+
+    def convert_records(
+        self, records: Iterable[Union[dict, Tuple[int, dict]]]
+    ) -> ConvertedLog:
+        """Convert already-parsed records (optionally ``(lineno, record)`` pairs)."""
+        parsed: List[Tuple[int, int, TopologyEvent]] = []  # (round, seq, event)
+        origin = self.origin_ts
+        records_read = 0
+        for seq, item in enumerate(records):
+            lineno, record = item if isinstance(item, tuple) else (seq + 1, item)
+            records_read += 1
+            is_up = self._parse_op(lineno, record)
+            edge = self._parse_edge(lineno, record)
+            if "round" in record:
+                round_index = self._parse_round(lineno, record["round"])
+            else:
+                ts = self._parse_ts(lineno, record)
+                if origin is None:
+                    origin = ts
+                if ts < origin:
+                    raise LogConversionError(
+                        f"line {lineno}: timestamp {ts} precedes the origin {origin} "
+                        "(records must be ordered, or pass origin_ts explicitly)"
+                    )
+                round_index = int((ts - origin) / self.round_duration)
+            event = EdgeInsert(*edge) if is_up else EdgeDelete(*edge)
+            parsed.append((round_index, seq, event))
+
+        # Stable bucket order: by round, then input order within the round.
+        parsed.sort(key=lambda item: (item[0], item[1]))
+
+        batches: List[RoundChanges] = []
+        stats = {
+            "records_read": records_read,
+            "events_emitted": 0,
+            "coalesced_dropped": 0,
+            "noop_dropped": 0,
+            "quiet_rounds": 0,
+        }
+        present: Set[Edge] = set()
+        cursor = 0
+        index = 0
+        while index < len(parsed):
+            round_index = parsed[index][0]
+            bucket: List[TopologyEvent] = []
+            while index < len(parsed) and parsed[index][0] == round_index:
+                bucket.append(parsed[index][2])
+                index += 1
+            gap = round_index - cursor
+            if self.max_quiet_gap is not None:
+                gap = min(gap, self.max_quiet_gap)
+            for _ in range(gap):
+                batches.append(RoundChanges.empty())
+                stats["quiet_rounds"] += 1
+            coalesced = RoundChanges.coalesce(bucket)
+            stats["coalesced_dropped"] += len(bucket) - len(coalesced)
+            events: List[TopologyEvent] = []
+            for ev in coalesced:
+                if ev.is_insert == (ev.edge in present):
+                    stats["noop_dropped"] += 1
+                    continue
+                if ev.is_insert:
+                    present.add(ev.edge)
+                else:
+                    present.discard(ev.edge)
+                events.append(ev)
+            stats["events_emitted"] += len(events)
+            batches.append(RoundChanges(events))
+            cursor = round_index + 1
+        stats["rounds"] = len(batches)
+        return ConvertedLog(
+            trace=TopologyTrace.from_batches(self.n, batches), stats=stats
+        )
+
+    # ------------------------------------------------------------------ #
+    # Record parsing
+    # ------------------------------------------------------------------ #
+    def _parse_op(self, lineno: int, record: dict) -> bool:
+        op = record.get("op")
+        if not isinstance(op, str) or op.lower() not in _OPS:
+            raise LogConversionError(
+                f"line {lineno}: 'op' must be one of {sorted(_OPS)}, got {op!r}"
+            )
+        return _OPS[op.lower()]
+
+    def _parse_edge(self, lineno: int, record: dict) -> Edge:
+        try:
+            u, v = record["u"], record["v"]
+        except KeyError as exc:
+            raise LogConversionError(f"line {lineno}: missing endpoint field {exc}") from exc
+        if not isinstance(u, int) or not isinstance(v, int) or isinstance(u, bool) or isinstance(v, bool):
+            raise LogConversionError(
+                f"line {lineno}: endpoints must be integers, got u={u!r} v={v!r}"
+            )
+        try:
+            edge = canonical_edge(u, v)
+        except ValueError as exc:
+            raise LogConversionError(f"line {lineno}: {exc}") from exc
+        if edge[1] >= self.n:
+            raise LogConversionError(
+                f"line {lineno}: node {edge[1]} out of range for n={self.n}"
+            )
+        return edge
+
+    def _parse_ts(self, lineno: int, record: dict) -> float:
+        ts = record.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+            raise LogConversionError(
+                f"line {lineno}: 'ts' must be a number (or provide an integer 'round'), "
+                f"got {ts!r}"
+            )
+        return float(ts)
+
+    def _parse_round(self, lineno: int, value) -> int:
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise LogConversionError(
+                f"line {lineno}: 'round' must be a non-negative integer, got {value!r}"
+            )
+        return value
+
+
+class LogEventSource(TraceEventSource):
+    """Ingest an external JSONL link-event log.
+
+    The log is normalized eagerly through :class:`LogConverter` at
+    construction, so malformed feeds fail before the first round and the
+    resulting :attr:`trace` is available for replay, recording next to
+    results, or splicing into campaigns.
+    """
+
+    def __init__(
+        self,
+        log: Union[str, Path, Iterable[str]],
+        *,
+        n: int,
+        round_duration: float = 1.0,
+        origin_ts: Optional[float] = None,
+        max_quiet_gap: Optional[int] = None,
+    ) -> None:
+        converter = LogConverter(
+            n,
+            round_duration=round_duration,
+            origin_ts=origin_ts,
+            max_quiet_gap=max_quiet_gap,
+        )
+        if isinstance(log, (str, Path)):
+            converted = converter.convert_file(log)
+        else:
+            converted = converter.convert_lines(log)
+        self.stats = converted.stats
+        super().__init__(converted.trace)
+
+
+#: Source kinds selectable from the CLI (`serve --source ...`).
+EVENT_SOURCES = ("adversary", "trace", "log")

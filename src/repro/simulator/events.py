@@ -143,6 +143,25 @@ class RoundChanges:
         return cls([])
 
     @classmethod
+    def coalesce(cls, events: Iterable[TopologyEvent]) -> "RoundChanges":
+        """Build a batch from raw events, keeping only the last event per edge.
+
+        External event feeds (recorded link up/down logs, gossip dumps) often
+        report the same link several times inside one round window; the model
+        requires at most one event per edge per round.  This normalizer keeps
+        the *last* event for each edge -- the link's state at the end of the
+        window -- ordering the surviving events by their last occurrence so
+        repeated conversions of the same feed are deterministic.
+        """
+        last: dict[Edge, TopologyEvent] = {}
+        for ev in events:
+            edge = ev.edge  # canonicalizes + validates endpoints
+            if edge in last:
+                del last[edge]  # re-insert so the edge moves to its last slot
+            last[edge] = ev
+        return cls(list(last.values()))
+
+    @classmethod
     def inserts(cls, edges: Iterable[Tuple[int, int]]) -> "RoundChanges":
         """Build a batch consisting only of insertions of ``edges``."""
         return cls([EdgeInsert(u, v) for (u, v) in edges])

@@ -44,6 +44,25 @@ class TopologyTrace:
             )
         )
 
+    @classmethod
+    def from_batches(
+        cls, n: int, batches: Iterable[RoundChanges], *, validate: bool = True
+    ) -> "TopologyTrace":
+        """Build a trace from an ordered sequence of per-round batches.
+
+        This is the normalized-ingest path: external event feeds (see
+        :mod:`repro.serve.ingest`) are converted into canonical
+        :class:`RoundChanges` batches and then frozen into a trace here, so
+        recorded real-world churn replays through the exact machinery every
+        adversary uses.  With ``validate`` (default) the resulting trace is
+        checked against ``range(n)`` immediately, so a feed referencing
+        out-of-range nodes fails at conversion time instead of mid-replay.
+        """
+        trace = cls(n=n)
+        for changes in batches:
+            trace.append(changes)
+        return trace.validate_nodes() if validate else trace
+
     @property
     def num_rounds(self) -> int:
         return len(self.rounds)

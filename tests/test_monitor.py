@@ -34,6 +34,20 @@ class TestConstruction:
         with pytest.raises(ValueError):
             DynamicGraphMonitor(6, structure="magic")
 
+    def test_serial_engine_modes_accepted(self):
+        for mode in ("dense", "sparse", "columnar"):
+            monitor = DynamicGraphMonitor(6, engine_mode=mode)
+            assert monitor.engine_mode == mode
+
+    def test_sharded_engine_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="sharded"):
+            DynamicGraphMonitor(6, engine_mode="sharded")
+
+    def test_is_a_serving_monitor(self):
+        from repro.serve import ServingMonitor
+
+        assert issubclass(DynamicGraphMonitor, ServingMonitor)
+
 
 class TestTriangleAndCliqueQueries:
     def test_triangle_lifecycle(self):
@@ -105,6 +119,14 @@ class TestCycleQueries:
         assert monitor.list_cycle([0, 1, 2, 4]).value is False
         assert monitor.is_cycle((0, 1, 2, 3)).definite
 
+    def test_list_cycle_requires_capable_structure(self):
+        # Regression: this used to surface as a bare AttributeError from
+        # getattr(node, "knows_cycle_set") instead of the clear TypeError the
+        # other capability-gated helpers raise.
+        monitor = DynamicGraphMonitor(8, structure="robust2hop")
+        with pytest.raises(TypeError, match="cycle-listing"):
+            monitor.list_cycle([0, 1, 2, 3])
+
     def test_cycles_of_enumeration(self):
         monitor = DynamicGraphMonitor(8, structure="cycles")
         for edge in [(0, 1), (1, 2), (2, 3), (0, 3)]:
@@ -140,3 +162,34 @@ class TestBookkeeping:
         monitor.settle()
         assert monitor.knows_edge(0, 1, 2).value is True
         assert monitor.knows_edge(0, 2, 3).value is False
+
+
+class TestEngineIdentity:
+    """The same update stream must be bit-identical across serial engines."""
+
+    STREAM = [
+        {"insert": [(0, 1), (1, 2), (0, 2), (3, 4)]},
+        {"insert": [(2, 3)], "delete": [(3, 4)]},
+        {},
+        {"insert": [(4, 5), (3, 5), (3, 4)]},
+        {"delete": [(0, 2)]},
+        {},
+        {"insert": [(0, 2)]},
+    ]
+
+    def _drive(self, mode):
+        monitor = DynamicGraphMonitor(8, structure="triangle", engine_mode=mode)
+        answers = []
+        for batch in self.STREAM:
+            monitor.update(**batch)
+            answers.append(
+                [monitor.is_triangle(0, 1, 2, ask=v) for v in range(3)]
+            )
+        monitor.settle()
+        answers.append([monitor.is_triangle(3, 4, 5, ask=v) for v in (3, 4, 5)])
+        return answers, monitor.metrics_summary(), monitor.state_fingerprint()
+
+    def test_dense_sparse_columnar_identical(self):
+        reference = self._drive("dense")
+        for mode in ("sparse", "columnar"):
+            assert self._drive(mode) == reference
