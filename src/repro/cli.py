@@ -77,7 +77,7 @@ from .experiments import (
     ResultStore,
     build_adversary,
 )
-from .obs import LOG_LEVELS, CampaignProgress, configure_logging
+from .obs import DEFAULT_THRESHOLD, LOG_LEVELS, CampaignProgress, configure_logging
 from .simulator import ENGINE_MODES
 from .verification import CHECKS
 
@@ -319,6 +319,21 @@ def build_campaign_parser() -> argparse.ArgumentParser:
         help="snapshot cadence (default: the spec's interval_s, else 1s)",
     )
     parser.add_argument(
+        "--trace-events",
+        action="store_true",
+        default=None,
+        help="collect stage-level trace events per cell into "
+        "<store>/telemetry/<cell_id>.trace.jsonl (implies --telemetry; "
+        "export with 'telemetry trace'; defaults to the spec's "
+        "telemetry.trace setting)",
+    )
+    parser.add_argument(
+        "--no-trace-events",
+        action="store_false",
+        dest="trace_events",
+        help="force trace-event collection off even if the spec enables it",
+    )
+    parser.add_argument(
         "--profile",
         choices=PROFILERS,
         default=None,
@@ -389,6 +404,7 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
             jobs=args.jobs,
             telemetry=args.telemetry,
             telemetry_interval_s=args.telemetry_interval,
+            trace_events=args.trace_events,
             profile=args.profile,
             max_retries=args.retries,
             cell_timeout_s=args.cell_timeout,
@@ -800,25 +816,41 @@ def build_telemetry_parser() -> argparse.ArgumentParser:
     """The ``telemetry`` subcommand parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
         prog="repro-dynamic-subgraphs telemetry",
-        description="Inspect the telemetry snapshots a campaign collected. "
+        description="Inspect the telemetry a campaign collected. "
         "'report' merges every cell's final snapshot into one hotspot table: "
         "span cumulative times (sorted hottest first), histogram percentiles "
-        "and counters, across engines, oracle, monitor and fuzz driver.",
+        "and counters, across engines (coordinator and shard workers), "
+        "oracle, monitor and fuzz driver. "
+        "'trace' merges the per-cell trace-event JSONL files into one Chrome "
+        "trace-event JSON, loadable in Perfetto (https://ui.perfetto.dev) or "
+        "chrome://tracing. "
+        "'diff' compares two perf documents (hotspot reports, BENCH_*.json "
+        "files, or result-store directories) under per-metric tolerance "
+        "thresholds and exits 1 on regression.",
     )
     parser.add_argument(
         "command",
-        choices=("report",),
-        help="'report': merge per-cell snapshots into a hotspot report",
+        choices=("report", "trace", "diff"),
+        help="'report': merged hotspot report; 'trace': Chrome trace-event "
+        "export; 'diff': perf-regression comparison",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="for 'diff': BASELINE and CANDIDATE perf documents (JSON files "
+        "or result-store directories)",
     )
     parser.add_argument(
         "--store",
         type=Path,
-        required=True,
+        default=None,
         help="campaign result-store directory (its telemetry/ subdirectory is "
-        "read), or a directory of telemetry JSONL files directly",
+        "read), or a directory of telemetry JSONL files directly "
+        "(required for 'report' and 'trace')",
     )
     parser.add_argument(
-        "--top", type=int, default=20, help="number of hotspot rows to show"
+        "--top", type=int, default=20, help="number of hotspot rows to show ('report')"
     )
     parser.add_argument(
         "--json",
@@ -827,22 +859,71 @@ def build_telemetry_parser() -> argparse.ArgumentParser:
         dest="json_out",
         help="additionally write the merged report as machine-readable JSON",
     )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="output path for 'trace' (default: <store>/trace.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="global relative tolerance for 'diff' (default: %(default)s; "
+        "e.g. 0.25 lets a timing grow 25%% before failing)",
+    )
+    parser.add_argument(
+        "--metric",
+        action="append",
+        default=[],
+        metavar="NAME=THRESHOLD",
+        help="per-metric tolerance override for 'diff' (repeatable)",
+    )
+    parser.add_argument(
+        "--min-value",
+        type=float,
+        default=1e-6,
+        metavar="FLOOR",
+        help="skip metric pairs where both sides are below FLOOR "
+        "(near-zero timings are pure jitter; default: %(default)s)",
+    )
+    parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but exit 0 anyway ('diff')",
+    )
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=None,
+        metavar="JSONL",
+        help="append the candidate's extracted rows to this BENCH_history.jsonl "
+        "trajectory after diffing",
+    )
     _add_log_level(parser)
     return parser
 
 
-def telemetry_main(argv: Optional[List[str]] = None) -> int:
-    """Entry point of the ``telemetry`` subcommand."""
-    from .obs import build_report, format_report
-
-    args = build_telemetry_parser().parse_args(argv)
-    configure_logging(args.log_level)
-    root = args.store
+def _telemetry_root(store: Optional[Path]) -> Path | int:
+    """Resolve ``--store`` to the snapshot directory, or an exit code."""
+    if store is None:
+        print("error: --store is required for this command", file=sys.stderr)
+        return 2
+    root = store
     if (root / ResultStore.TELEMETRY_DIR).is_dir():
         root = root / ResultStore.TELEMETRY_DIR
     if not root.is_dir():
         print(f"error: no telemetry directory at {root}", file=sys.stderr)
         return 2
+    return root
+
+
+def _telemetry_report(args) -> int:
+    from .obs import build_report, format_report
+
+    root = _telemetry_root(args.store)
+    if isinstance(root, int):
+        return root
     report = build_report(root, top=args.top)
     if not report["cells"]:
         print(
@@ -856,6 +937,110 @@ def telemetry_main(argv: Optional[List[str]] = None) -> int:
         args.json_out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
         print(f"json report written to {args.json_out}")
     return 0
+
+
+def _telemetry_trace(args) -> int:
+    from .obs import build_chrome_trace
+
+    root = _telemetry_root(args.store)
+    if isinstance(root, int):
+        return root
+    try:
+        trace = build_chrome_trace(root)
+    except (FileNotFoundError, ValueError) as exc:
+        print(
+            f"error: {exc} (was the campaign run with --trace-events?)",
+            file=sys.stderr,
+        )
+        return 2
+    out = args.out if args.out is not None else root / "trace.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(trace) + "\n")
+    slices = sum(1 for e in trace["traceEvents"] if e.get("ph") == "X")
+    print(
+        f"chrome trace written to {out} ({slices} slices); "
+        "load it at https://ui.perfetto.dev or chrome://tracing"
+    )
+    return 0
+
+
+def _telemetry_diff(args) -> int:
+    from .obs import append_history, diff_rows, extract_rows, format_diff, load_perf_document
+
+    if len(args.paths) != 2:
+        print(
+            "error: 'telemetry diff' needs exactly two paths: BASELINE CANDIDATE",
+            file=sys.stderr,
+        )
+        return 2
+    per_metric = {}
+    for override in args.metric:
+        name, sep, value = override.partition("=")
+        if not sep or not name:
+            print(
+                f"error: --metric expects NAME=THRESHOLD, got {override!r}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            per_metric[name] = float(value)
+        except ValueError:
+            print(
+                f"error: --metric threshold must be a number, got {value!r}",
+                file=sys.stderr,
+            )
+            return 2
+    baseline_path, candidate_path = args.paths
+    docs = []
+    for path in (baseline_path, candidate_path):
+        try:
+            doc = load_perf_document(path)
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        rows = extract_rows(doc)
+        if not rows:
+            print(f"error: no comparable perf rows in {path}", file=sys.stderr)
+            return 2
+        docs.append((doc, rows))
+    (baseline_doc, baseline_rows), (candidate_doc, candidate_rows) = docs
+    report = diff_rows(
+        baseline_rows,
+        candidate_rows,
+        threshold=args.threshold,
+        per_metric=per_metric,
+        min_value=args.min_value,
+        baseline_name=str(baseline_path),
+        candidate_name=str(candidate_path),
+    )
+    if report.compared == 0:
+        print(
+            f"error: no overlapping perf rows between {baseline_path} and "
+            f"{candidate_path} (nothing to compare)",
+            file=sys.stderr,
+        )
+        return 2
+    print(format_diff(report))
+    if args.history is not None:
+        append_history(args.history, candidate_doc, source=str(candidate_path))
+        print(f"history appended to {args.history}")
+    if report.failed and not args.warn_only:
+        return 1
+    return 0
+
+
+def telemetry_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``telemetry`` subcommand."""
+    # intermixed: lets flags appear between/before the positional paths
+    # ("telemetry diff --warn-only BASE CAND" and "... BASE CAND --warn-only"
+    # both parse), which plain parse_args rejects for a nargs="*" positional.
+    args = build_telemetry_parser().parse_intermixed_args(argv)
+    configure_logging(args.log_level)
+    if args.command == "report":
+        return _telemetry_report(args)
+    if args.command == "trace":
+        return _telemetry_trace(args)
+    return _telemetry_diff(args)
 
 
 # --------------------------------------------------------------------- #
@@ -958,8 +1143,18 @@ def build_serve_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         metavar="FILE",
-        help="stream telemetry snapshots (ingest spans, answer-latency "
-        "percentiles, subscription counters) to this JSONL file",
+        help="stream telemetry snapshots (ingest spans and counters, "
+        "answer-latency percentiles, subscription counters) to this JSONL file",
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="record trace events (ingest spans, per-evaluation answer "
+        "latency) to FILE, one JSON event per line; name it *.trace.jsonl "
+        "and point 'telemetry trace --store' at its directory to export a "
+        "Chrome/Perfetto timeline",
     )
     _add_log_level(parser)
     return parser
@@ -1018,11 +1213,19 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    telemetry_on = args.telemetry_out is not None
+    telemetry_on = args.telemetry_out is not None or args.trace_out is not None
+    tracer = None
     if telemetry_on:
-        from .obs import TELEMETRY, TelemetrySink
+        from .obs import TELEMETRY, TelemetrySink, TraceBuffer
 
-        TELEMETRY.enable(sink=TelemetrySink(args.telemetry_out), label="serve")
+        sink = (
+            TelemetrySink(args.telemetry_out)
+            if args.telemetry_out is not None
+            else None
+        )
+        if args.trace_out is not None:
+            tracer = TraceBuffer(cell_id="serve", engine_mode=args.engine)
+        TELEMETRY.enable(sink=sink, label="serve", tracer=tracer)
     try:
         report = service.run(
             source,
@@ -1038,7 +1241,13 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
             from .obs import TELEMETRY
 
             TELEMETRY.disable()
-            print(f"telemetry written to {args.telemetry_out}")
+            if args.telemetry_out is not None:
+                print(f"telemetry written to {args.telemetry_out}")
+            if tracer is not None:
+                from .obs import write_trace_jsonl
+
+                written = write_trace_jsonl(args.trace_out, tracer)
+                print(f"trace events written to {args.trace_out} ({written} events)")
     summary = report.to_dict()
     summary.pop("firings")
     print(format_table(["metric", "value"], sorted(summary.items())))

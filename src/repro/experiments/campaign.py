@@ -42,7 +42,9 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..faults.models import build_fault_plan
 from ..obs.sink import TelemetrySink, write_supervision_snapshot
+from ..obs.report import load_final_snapshot, merge_snapshots
 from ..obs.telemetry import TELEMETRY
+from ..obs.tracing import DEFAULT_TRACE_CAPACITY, TraceBuffer, write_trace_jsonl
 from ..simulator.bandwidth import BandwidthPolicy
 from ..simulator.parallel import ShardedRoundEngine
 from ..simulator.runner import drive_engine
@@ -182,6 +184,8 @@ def execute_cell(
     *,
     telemetry_dir: Optional[str | Path] = None,
     telemetry_interval_s: float = 1.0,
+    trace_events: bool = False,
+    trace_capacity: int = DEFAULT_TRACE_CAPACITY,
     profile: Optional[str] = None,
     profile_dir: Optional[str | Path] = None,
 ) -> Tuple[Dict[str, Any], Optional[Dict[str, Any]]]:
@@ -193,21 +197,34 @@ def execute_cell(
 
     With ``telemetry_dir``, the process-wide :data:`~repro.obs.telemetry.TELEMETRY`
     singleton is enabled for the duration of the cell and streams periodic
-    snapshots to ``<telemetry_dir>/<cell_id>.jsonl``.  Telemetry collection is
-    read-only bookkeeping: the produced record, trace and state fingerprint
-    are bit-identical with and without it (pinned by the test-suite).  With
-    ``profile="cprofile"``, the cell additionally runs under :mod:`cProfile`
-    and the pstats dump lands in ``<profile_dir>/<cell_id>.pstats``.
+    snapshots to ``<telemetry_dir>/<cell_id>.jsonl``; the final snapshot also
+    rides back on the record (``record["telemetry"]``) so campaign workers
+    ship their telemetry to the coordinator over the existing result pipe.
+    With ``trace_events`` additionally set, stage-level trace events are
+    collected into a bounded ring (including sharded-engine worker events,
+    merged at engine shutdown) and written to
+    ``<telemetry_dir>/<cell_id>.trace.jsonl`` for ``telemetry trace`` export.
+    Telemetry and tracing are read-only bookkeeping: the produced record,
+    trace and state fingerprint are bit-identical with and without them
+    (pinned by the test-suite).  With ``profile="cprofile"``, the cell
+    additionally runs under :mod:`cProfile` and the pstats dump lands in
+    ``<profile_dir>/<cell_id>.pstats``.
     """
     if profile is not None and profile not in PROFILERS:
         raise ValueError(f"unknown profiler {profile!r}; choose from {PROFILERS}")
     start = time.perf_counter()
     telemetry_path: Optional[Path] = None
+    tracer: Optional[TraceBuffer] = None
     if telemetry_dir is not None:
         telemetry_path = Path(telemetry_dir) / f"{spec.cell_id}.jsonl"
+        if trace_events:
+            tracer = TraceBuffer(
+                trace_capacity, cell_id=spec.cell_id, engine_mode=spec.engine_mode
+            )
         TELEMETRY.enable(
             sink=TelemetrySink(telemetry_path, interval_s=telemetry_interval_s),
             label=spec.cell_id,
+            tracer=tracer,
         )
     profiler = cProfile.Profile() if profile == "cprofile" else None
     if profiler is not None:
@@ -236,6 +253,16 @@ def execute_cell(
     }
     if telemetry_path is not None:
         record["telemetry_path"] = str(telemetry_path)
+        # Ship the final snapshot on the record itself: campaign workers send
+        # records over the result pipe, so the coordinator gets every cell's
+        # telemetry without re-reading worker-written files.  (disable()
+        # already flushed the identical final line through the sink.)
+        record["telemetry"] = load_final_snapshot(telemetry_path)
+    if tracer is not None:
+        trace_path = Path(telemetry_dir) / f"{spec.cell_id}.trace.jsonl"
+        record["trace_events"] = write_trace_jsonl(trace_path, tracer)
+        record["trace_events_dropped"] = tracer.dropped
+        record["trace_events_path"] = str(trace_path)
     if profiler is not None:
         dest = Path(profile_dir if profile_dir is not None else ".") / f"{spec.cell_id}.pstats"
         dest.parent.mkdir(parents=True, exist_ok=True)
@@ -356,6 +383,9 @@ class CampaignReport:
     records: List[Dict[str, Any]] = field(default_factory=list)
     skipped_ids: List[str] = field(default_factory=list)
     counters: Dict[str, int] = field(default_factory=dict)
+    #: Merged final telemetry of every cell that ran with collection on
+    #: (worker-shipped snapshots folded coordinator-side); None otherwise.
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def num_run(self) -> int:
@@ -395,6 +425,10 @@ class CampaignRunner:
             it on or off for this run.
         telemetry_interval_s: snapshot cadence in seconds; ``None`` defers to
             the campaign spec (which itself defaults to 1 second).
+        trace_events: additionally collect stage-level trace events per cell
+            (a bounded ring written to ``<cell_id>.trace.jsonl`` next to the
+            snapshots, exportable with ``telemetry trace``).  Implies
+            telemetry; ``None`` defers to the spec's ``telemetry["trace"]``.
         profile: per-cell profiler backend (one of :data:`PROFILERS`); pstats
             dumps land in the store's ``profiles/`` directory.
         max_retries: how many times an *infrastructure* failure (worker
@@ -425,6 +459,7 @@ class CampaignRunner:
         start_method: str = "fork",
         telemetry: Optional[bool] = None,
         telemetry_interval_s: Optional[float] = None,
+        trace_events: Optional[bool] = None,
         profile: Optional[str] = None,
         max_retries: int = 0,
         cell_timeout_s: Optional[float] = None,
@@ -449,6 +484,7 @@ class CampaignRunner:
         self.start_method = start_method
         self.telemetry = telemetry
         self.telemetry_interval_s = telemetry_interval_s
+        self.trace_events = trace_events
         self.profile = profile
         self.max_retries = max_retries
         self.cell_timeout_s = cell_timeout_s
@@ -474,10 +510,22 @@ class CampaignRunner:
         interval = self.telemetry_interval_s
         if interval is None:
             interval = float(spec_cfg.get("interval_s", 1.0))
+        trace = self.trace_events
+        if trace is None:
+            trace = bool(spec_cfg.get("trace", False))
+        # Trace events ride the telemetry registry, so asking for them
+        # implies collection even when the spec left telemetry off.
+        if trace:
+            enabled = True
         obs: Dict[str, Any] = {}
         if enabled:
             obs["telemetry_dir"] = str(self.store.telemetry_root)
             obs["telemetry_interval_s"] = interval
+            if trace:
+                obs["trace_events"] = True
+                obs["trace_capacity"] = int(
+                    spec_cfg.get("trace_capacity", DEFAULT_TRACE_CAPACITY)
+                )
         if self.profile is not None:
             obs["profile"] = self.profile
             obs["profile_dir"] = str(self.store.profiles_root)
@@ -563,6 +611,7 @@ class CampaignRunner:
                 report.records.append(record)
                 if progress is not None:
                     progress(record, len(report.records), len(pending))
+            self._attach_telemetry(report)
             return report
 
         self._run_pool(
@@ -573,6 +622,7 @@ class CampaignRunner:
             progress=progress,
             on_start=on_start,
         )
+        self._attach_telemetry(report)
         return report
 
     # ------------------------------------------------------------------ #
@@ -832,10 +882,27 @@ class CampaignRunner:
                 elapsed_s=time.monotonic() - started,
             )
 
+    @staticmethod
+    def _attach_telemetry(report: CampaignReport) -> None:
+        """Fold the worker-shipped per-cell snapshots into one report-level
+        telemetry dict (counters/spans sum, histograms merge, gauges
+        last-wins) -- the campaign-pool half of cross-process collection."""
+        snapshots = [
+            r["telemetry"] for r in report.records if isinstance(r.get("telemetry"), dict)
+        ]
+        if snapshots:
+            report.telemetry = merge_snapshots(snapshots)
+
     def _persist(self, record: Dict[str, Any], trace_dict: Optional[Dict[str, Any]]) -> None:
         if trace_dict is not None:
             path = self.store.save_trace(record["cell_id"], trace_dict)
             record["trace_path"] = str(path.relative_to(self.store.root))
         else:
             record["trace_path"] = None
+        # The shipped telemetry snapshot stays in-memory only (merged into
+        # the report): the store already holds the identical final line as
+        # telemetry/<cell_id>.jsonl, so keep results.jsonl lean.
+        snapshot = record.pop("telemetry", None)
         self.store.append(record)
+        if snapshot is not None:
+            record["telemetry"] = snapshot

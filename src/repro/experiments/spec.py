@@ -292,13 +292,16 @@ class CampaignSpec:
         if not isinstance(self.telemetry, Mapping):
             raise ValueError("telemetry must be a mapping (e.g. {\"enabled\": true})")
         self.telemetry = dict(self.telemetry)
-        unknown = set(self.telemetry) - {"enabled", "interval_s"}
+        unknown = set(self.telemetry) - {"enabled", "interval_s", "trace", "trace_capacity"}
         if unknown:
             raise ValueError(
-                f"unknown telemetry keys {sorted(unknown)}; known: enabled, interval_s"
+                f"unknown telemetry keys {sorted(unknown)}; "
+                "known: enabled, interval_s, trace, trace_capacity"
             )
         if "interval_s" in self.telemetry and float(self.telemetry["interval_s"]) < 0:
             raise ValueError("telemetry interval_s must be non-negative")
+        if "trace_capacity" in self.telemetry and int(self.telemetry["trace_capacity"]) < 1:
+            raise ValueError("telemetry trace_capacity must be a positive integer")
 
     # ------------------------------------------------------------------ #
     # Expansion

@@ -1,0 +1,114 @@
+"""Cross-process telemetry collection: fold worker snapshots into a live registry.
+
+Sharded-engine workers and campaign workers each run their own
+:class:`~repro.obs.telemetry.Telemetry` registry (the module singleton is a
+*process-local* object; a forked child must never write through the parent's
+sink handle).  At shutdown/completion each worker ships its final snapshot —
+plus its trace buffer — back over the result pipe it already owns, and the
+coordinator folds everything into its own registry with
+:func:`merge_snapshot_into`.  Counters and spans sum, fixed-bucket histograms
+merge bucket-wise, gauges stay last-wins: the same semantics as
+:func:`repro.obs.report.merge_snapshots`, but applied *into* a live registry
+instead of across snapshot dicts.
+
+:func:`compute_shard_skew` turns per-worker span totals into the
+``engine.shard_skew.<stage>`` gauge family: max-over-mean of per-worker
+wall-clock per stage (1.0 = perfectly balanced, 2.0 = the slowest shard did
+twice the mean work), the one number that says whether a sharded run is
+limited by partitioning rather than by the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence
+
+from .telemetry import Histogram, Telemetry
+
+__all__ = [
+    "merge_snapshot_into",
+    "compute_shard_skew",
+    "record_shard_skew",
+    "WORKER_SPAN_PREFIX",
+]
+
+#: Prefix for spans recorded inside sharded-engine worker processes.
+WORKER_SPAN_PREFIX = "engine.worker."
+
+
+def merge_snapshot_into(telemetry: Telemetry, snapshot: Mapping[str, Any]) -> None:
+    """Fold one snapshot dict (another process's final state) into a live
+    registry.
+
+    Writes the backing dicts directly — this is a coordinator-side merge of
+    already-collected data, not instrumentation, so it bypasses the
+    ``enabled`` fast-path guards (callers gate on ``telemetry.enabled``).
+    """
+    for name, value in snapshot.get("counters", {}).items():
+        telemetry.counters[name] = telemetry.counters.get(name, 0) + int(value)
+
+    for name, value in snapshot.get("gauges", {}).items():
+        telemetry.gauges[name] = value  # last-wins, same as Telemetry.gauge
+
+    for name, stat in snapshot.get("spans", {}).items():
+        count = int(stat["count"])
+        total_s = float(stat["total_s"])
+        max_s = float(stat["max_s"])
+        existing = telemetry.spans.get(name)
+        if existing is None:
+            telemetry.spans[name] = [count, total_s, max_s]
+        else:
+            existing[0] += count
+            existing[1] += total_s
+            if max_s > existing[2]:
+                existing[2] = max_s
+
+    for name, data in snapshot.get("histograms", {}).items():
+        incoming = Histogram.from_dict(data)
+        existing = telemetry.histograms.get(name)
+        if existing is None:
+            telemetry.histograms[name] = incoming
+        else:
+            existing.merge(incoming)
+
+
+def compute_shard_skew(
+    snapshots: Sequence[Mapping[str, Any]],
+    *,
+    prefix: str = WORKER_SPAN_PREFIX,
+) -> Dict[str, float]:
+    """Per-stage skew across worker snapshots: ``max(total_s) / mean(total_s)``.
+
+    Returns ``{"engine.shard_skew.<stage>": skew}`` for every worker span
+    stage present in at least one snapshot.  Workers that never recorded a
+    stage count as zero time for it (an idle shard *is* skew).  Stages whose
+    total time is zero everywhere are omitted.
+    """
+    if not snapshots:
+        return {}
+    stages: Dict[str, list] = {}
+    for snapshot in snapshots:
+        for name in snapshot.get("spans", {}):
+            if name.startswith(prefix):
+                stages.setdefault(name[len(prefix):], [])
+    skew: Dict[str, float] = {}
+    for stage in stages:
+        totals = [
+            float(s.get("spans", {}).get(prefix + stage, {}).get("total_s", 0.0))
+            for s in snapshots
+        ]
+        mean = sum(totals) / len(totals)
+        if mean > 0.0:
+            skew[f"engine.shard_skew.{stage}"] = max(totals) / mean
+    return skew
+
+
+def record_shard_skew(
+    telemetry: Telemetry, snapshots: Sequence[Mapping[str, Any]]
+) -> Dict[str, float]:
+    """Compute shard skew and publish it as gauges on ``telemetry``."""
+    skew = compute_shard_skew(snapshots)
+    for name, value in skew.items():
+        telemetry.gauges[name] = value
+    if snapshots:
+        telemetry.gauges["engine.shard_workers"] = len(snapshots)
+    return skew

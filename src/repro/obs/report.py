@@ -53,12 +53,18 @@ def load_final_snapshot(path: str | Path) -> Optional[Dict[str, Any]]:
 
 
 def load_snapshots(root: str | Path) -> Dict[str, Dict[str, Any]]:
-    """Final snapshot per cell: ``{cell_id: snapshot}`` from ``root/*.jsonl``."""
+    """Final snapshot per cell: ``{cell_id: snapshot}`` from ``root/*.jsonl``.
+
+    Trace-event files share the directory (``<cell>.trace.jsonl``) and are
+    skipped here -- their lines are events, not snapshots.
+    """
     root = Path(root)
     if not root.is_dir():
         return {}
     out: Dict[str, Dict[str, Any]] = {}
     for path in sorted(root.glob("*.jsonl")):
+        if path.name.endswith(".trace.jsonl"):
+            continue
         snap = load_final_snapshot(path)
         if snap is not None:
             out[path.stem] = snap
@@ -217,6 +223,12 @@ def format_report(report: Dict[str, Any]) -> str:
     if report["counters"]:
         rows = [[name, str(value)] for name, value in report["counters"].items()]
         sections.append("counters\n" + _format_table(["counter", "value"], rows))
+    if report.get("gauges"):
+        rows = [
+            [name, f"{value:.3f}" if isinstance(value, float) else str(value)]
+            for name, value in sorted(report["gauges"].items())
+        ]
+        sections.append("gauges\n" + _format_table(["gauge", "value"], rows))
     if not report["cells"]:
         sections.append("(no telemetry snapshots found)")
     return "\n\n".join(sections)

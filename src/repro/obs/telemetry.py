@@ -180,7 +180,12 @@ class _SpanTimer:
         return self
 
     def __exit__(self, *exc: Any) -> bool:
-        self._telemetry.record_span(self._name, time.perf_counter() - self._start)
+        end = time.perf_counter()
+        telemetry = self._telemetry
+        telemetry.record_span(self._name, end - self._start)
+        tracer = telemetry.tracer
+        if tracer is not None:
+            tracer.add(self._name, self._start, end)
         return False
 
 
@@ -211,6 +216,7 @@ class Telemetry:
         self.enabled = enabled
         self.label: Optional[str] = None
         self.sink = None  # duck-typed TelemetrySink (avoid an import cycle)
+        self.tracer = None  # duck-typed TraceBuffer; None = tracing off
         self.counters: Dict[str, int] = {}
         self.gauges: Dict[str, Any] = {}
         self.spans: Dict[str, List[float]] = {}  # name -> [count, total_s, max_s]
@@ -222,23 +228,31 @@ class Telemetry:
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
-    def enable(self, *, sink=None, label: Optional[str] = None) -> None:
-        """Reset all state and start collecting (optionally into ``sink``)."""
+    def enable(self, *, sink=None, label: Optional[str] = None, tracer=None) -> None:
+        """Reset all state and start collecting (optionally into ``sink``,
+        optionally recording trace events into ``tracer``)."""
         self.reset()
         self.enabled = True
         self.sink = sink
         self.label = label
+        self.tracer = tracer
         self._enabled_at = time.perf_counter()
 
     def disable(self) -> None:
-        """Stop collecting; flushes a final snapshot through the sink."""
+        """Stop collecting; flushes a final snapshot through the sink.
+
+        Detaches (but does not clear) the tracer — callers that want the
+        buffered events grab ``TELEMETRY.tracer`` *before* disabling.
+        """
         if self.sink is not None:
             self.sink.close(self)
             self.sink = None
+        self.tracer = None
         self.enabled = False
 
     def reset(self) -> None:
         """Drop every collected value (does not touch ``enabled``/sink)."""
+        self.tracer = None
         self.counters = {}
         self.gauges = {}
         self.spans = {}

@@ -287,6 +287,7 @@ class LogConverter:
             "coalesced_dropped": 0,
             "noop_dropped": 0,
             "quiet_rounds": 0,
+            "clamped_gap_rounds": 0,
         }
         present: Set[Edge] = set()
         cursor = 0
@@ -298,8 +299,9 @@ class LogConverter:
                 bucket.append(parsed[index][2])
                 index += 1
             gap = round_index - cursor
-            if self.max_quiet_gap is not None:
-                gap = min(gap, self.max_quiet_gap)
+            if self.max_quiet_gap is not None and gap > self.max_quiet_gap:
+                stats["clamped_gap_rounds"] += gap - self.max_quiet_gap
+                gap = self.max_quiet_gap
             for _ in range(gap):
                 batches.append(RoundChanges.empty())
                 stats["quiet_rounds"] += 1

@@ -192,6 +192,14 @@ class MonitorService:
             engine_mode=self.monitor.engine_mode,
             subscriptions=len(self.registry),
         )
+        if TELEMETRY.enabled:
+            # Log-normalization tallies (coalesced duplicates, dropped no-ops,
+            # clamped quiet gaps, ...) live on the source; surface them as
+            # serve.ingest.* counters so --telemetry-out captures them.  Done
+            # here, not at source construction: the CLI builds the source
+            # before it enables telemetry.
+            for name, value in (getattr(source, "stats", None) or {}).items():
+                TELEMETRY.count(f"serve.ingest.{name}", int(value))
         start = perf_counter()
         while max_batches is None or report.batches < max_batches:
             changes = source.next_batch(self.monitor)

@@ -293,6 +293,8 @@ class SubscriptionRegistry:
         """
         notifications: List[AnswerChanged] = []
         telemetry_on = TELEMETRY.enabled
+        tracer = TELEMETRY.tracer if telemetry_on else None
+        evaluated_before = self.evaluated
         for subscription in self._subscriptions.values():
             touched = not subscription.watched.isdisjoint(ball(subscription.radius))
             if touched:
@@ -304,7 +306,10 @@ class SubscriptionRegistry:
             if telemetry_on:
                 start = perf_counter()
                 answer = subscription.evaluate(self.monitor)
-                TELEMETRY.observe("serve.answer_latency_s", perf_counter() - start)
+                end = perf_counter()
+                TELEMETRY.observe("serve.answer_latency_s", end - start)
+                if tracer is not None:
+                    tracer.add("serve.evaluate", start, end, round_index=round_index)
             else:
                 answer = subscription.evaluate(self.monitor)
             self.evaluated += 1
@@ -327,6 +332,10 @@ class SubscriptionRegistry:
                 subscription.definite_streak = 0
         self.fired += len(notifications)
         if telemetry_on:
-            TELEMETRY.count("serve.subscriptions_evaluated", self.evaluated)
+            # Only this round's evaluations: counting the running total here
+            # would re-add every earlier round's work each round.
+            TELEMETRY.count(
+                "serve.subscriptions_evaluated", self.evaluated - evaluated_before
+            )
             TELEMETRY.count("serve.notifications", len(notifications))
         return notifications

@@ -175,6 +175,7 @@ class ColumnarRoundEngine(SparseRoundEngine):
         nodes = self.nodes
         tel = TELEMETRY
         tel_on = tel.enabled
+        tracer = tel.tracer if tel_on else None
         faults = self.faults
         resets = faults.resets_for_round(round_index) if faults is not None else ()
 
@@ -346,6 +347,13 @@ class ColumnarRoundEngine(SparseRoundEngine):
             t5 = perf_counter()
             tel.record_span("engine.query", t5 - t4)
             tel.record_span("engine.round", t5 - t_round)
+            if tracer is not None:
+                tracer.add("engine.indications", t0, t1, round_index=round_index, mode="columnar")
+                tracer.add("engine.react", t1, t2, round_index=round_index, mode="columnar")
+                tracer.add("engine.send", t2, t3, round_index=round_index, mode="columnar")
+                tracer.add("engine.deliver", t3, t4, round_index=round_index, mode="columnar")
+                tracer.add("engine.query", t4, t5, round_index=round_index, mode="columnar")
+                tracer.add("engine.round", t_round, t5, round_index=round_index, mode="columnar")
             tel.count("engine.rounds")
             tel.count("engine.envelopes", num_envelopes)
             tel.count("engine.quiescent_skips", n - len(touched))

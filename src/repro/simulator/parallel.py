@@ -30,7 +30,9 @@ from time import perf_counter
 from types import MappingProxyType
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..obs.telemetry import SIZE_BUCKETS, TELEMETRY
+from ..obs.collect import merge_snapshot_into, record_shard_skew
+from ..obs.telemetry import SIZE_BUCKETS, TELEMETRY, Telemetry
+from ..obs.tracing import TraceBuffer
 from .bandwidth import BandwidthPolicy
 from .events import RoundChanges
 from .messages import Envelope
@@ -69,6 +71,9 @@ def _worker_loop(
     n: int,
     factory: AlgorithmFactory,
     mode: str = "dense",
+    worker_index: int = 0,
+    instrument: bool = False,
+    trace_capacity: int = 0,
 ) -> None:
     """Entry point of a shard worker process.
 
@@ -83,7 +88,23 @@ def _worker_loop(
     carries only the consistency verdicts of the nodes it touched plus a
     ``needs_react`` flag the coordinator uses to skip the whole shard while it
     is fully quiescent.
+
+    When ``instrument`` is set the worker runs its own *local*
+    :class:`~repro.obs.telemetry.Telemetry` registry (``engine.worker.*``
+    spans/counters) and, with ``trace_capacity > 0``, its own
+    :class:`~repro.obs.tracing.TraceBuffer`; the coordinator pulls both back
+    over this pipe with the ``telemetry`` op at shutdown.  The module
+    singleton must not be used here: under ``fork`` the child inherits the
+    parent's enabled registry *and its open sink file handle*, so writing
+    through it would corrupt the parent's JSONL stream.
     """
+    TELEMETRY.enabled = False  # neutralize the fork-inherited singleton
+    TELEMETRY.sink = None
+    TELEMETRY.tracer = None
+    tel = Telemetry(enabled=instrument)
+    tracer: Optional[TraceBuffer] = None
+    if instrument and trace_capacity > 0:
+        tracer = TraceBuffer(trace_capacity, worker=worker_index)
     nodes = {v: factory(v, n) for v in shard}
     # Sparse-mode activity bookkeeping (unused in dense mode).
     dirty = {v for v, algo in nodes.items() if not algo.is_quiescent()}
@@ -99,6 +120,9 @@ def _worker_loop(
             return
         if op == "react":
             round_index, indications, resets = payload
+            tel_on = tel.enabled
+            if tel_on:
+                t0 = perf_counter()
             # Amnesia recoveries: rebuild the instance before any hook runs,
             # so the fresh node sees this round's re-insertion indications --
             # the same ordering as the serial engines.
@@ -114,6 +138,9 @@ def _worker_loop(
             for v in react_active:
                 inserted, deleted = indications.get(v, ((), ()))
                 nodes[v].on_topology_change(round_index, inserted, deleted)
+            if tel_on:
+                t1 = perf_counter()
+                tel.record_span("engine.worker.indications", t1 - t0)
             for v in react_active:
                 out = nodes[v].compose_messages(round_index)
                 if out:
@@ -121,9 +148,26 @@ def _worker_loop(
                     if any(not envelope.is_silent for envelope in out.values()):
                         sent_now.add(v)
             sent_last = sent_now
+            if tel_on:
+                t2 = perf_counter()
+                tel.record_span("engine.worker.compute", t2 - t1)
+                tel.count("engine.worker.reacts")
+                tel.observe("engine.worker.active_set", len(react_active), SIZE_BUCKETS)
+                if tracer is not None:
+                    tracer.add(
+                        "engine.worker.indications", t0, t1,
+                        round_index=round_index, mode=mode,
+                    )
+                    tracer.add(
+                        "engine.worker.compute", t1, t2,
+                        round_index=round_index, mode=mode,
+                    )
             conn.send(("ok", outgoing))
         elif op == "update":
             round_index, inboxes = payload
+            tel_on = tel.enabled
+            if tel_on:
+                t0 = perf_counter()
             if mode == "sparse":
                 # A skipped react leaves no active set for this round; only
                 # freshly delivered inboxes can wake nodes then.
@@ -140,9 +184,19 @@ def _worker_loop(
                         dirty.discard(v)
                     else:
                         dirty.add(v)
-                conn.send(("ok", (consistency, bool(dirty or sent_last))))
+                reply: Any = (consistency, bool(dirty or sent_last))
             else:
-                conn.send(("ok", consistency))
+                reply = consistency
+            if tel_on:
+                t1 = perf_counter()
+                tel.record_span("engine.worker.deliver", t1 - t0)
+                tel.count("engine.worker.updates")
+                if tracer is not None:
+                    tracer.add(
+                        "engine.worker.deliver", t0, t1,
+                        round_index=round_index, mode=mode,
+                    )
+            conn.send(("ok", reply))
         elif op == "query":
             node_id, query = payload
             conn.send(("ok", nodes[node_id].query(query)))
@@ -150,6 +204,10 @@ def _worker_loop(
             conn.send(("ok", {v: algo.local_state_size() for v, algo in nodes.items()}))
         elif op == "fingerprint":
             conn.send(("ok", {v: algo.state_fingerprint() for v, algo in nodes.items()}))
+        elif op == "telemetry":
+            snapshot = tel.snapshot(final=True) if tel.enabled else None
+            trace = tracer.to_dict() if tracer is not None else None
+            conn.send(("ok", (snapshot, trace)))
         else:  # pragma: no cover - defensive
             conn.send(("error", f"unknown op {op!r}"))
 
@@ -204,13 +262,35 @@ class ShardedRoundEngine:
             for v in shard:
                 self._node_to_shard[v] = idx
         ctx = mp.get_context(start_method)
+        # Workers inherit the telemetry decision made at construction time:
+        # if the coordinator's registry is live, each worker runs its own
+        # local registry (and trace ring, if tracing is on) whose final state
+        # is pulled back and merged at shutdown.
+        self._workers_instrumented = TELEMETRY.enabled
+        trace_capacity = (
+            TELEMETRY.tracer.capacity
+            if TELEMETRY.enabled and TELEMETRY.tracer is not None
+            else 0
+        )
+        #: Final per-worker telemetry snapshots, populated by
+        #: :meth:`collect_worker_telemetry` (empty until then / if disabled).
+        self.worker_snapshots: List[Dict[str, Any]] = []
         self._conns = []
         self._procs = []
-        for shard in self._shards:
+        for idx, shard in enumerate(self._shards):
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(
                 target=_worker_loop,
-                args=(child_conn, shard, n, algorithm_factory, mode),
+                args=(
+                    child_conn,
+                    shard,
+                    n,
+                    algorithm_factory,
+                    mode,
+                    idx,
+                    self._workers_instrumented,
+                    trace_capacity,
+                ),
                 daemon=True,
             )
             proc.start()
@@ -235,11 +315,13 @@ class ShardedRoundEngine:
         round_index = self.network.round_index + 1
         n = self.network.n
         sparse = self.mode == "sparse"
-        # Coordinator-side telemetry only: workers stay uninstrumented, so
-        # the spans measure the same stage boundaries as the serial engines
-        # (compute = react dispatch+gather, deliver = update dispatch+gather).
+        # Coordinator spans measure the same stage boundaries as the serial
+        # engines (compute = react dispatch+gather, deliver = update
+        # dispatch+gather); the workers additionally time their own hook
+        # loops (engine.worker.* spans), merged in at shutdown.
         tel = TELEMETRY
         tel_on = tel.enabled
+        tracer = tel.tracer if tel_on else None
         if tel_on:
             t_round = t0 = perf_counter()
         indications = self.network.apply_changes(round_index, changes)
@@ -269,6 +351,8 @@ class ShardedRoundEngine:
         if tel_on:
             t1 = perf_counter()
             tel.record_span("engine.indications", t1 - t0)
+            if tracer is not None:
+                tracer.add("engine.indications", t0, t1, round_index=round_index, mode="sharded")
         for idx, (conn, shard_ind) in enumerate(zip(self._conns, per_shard_indications)):
             if reacting[idx]:
                 conn.send(("react", (round_index, shard_ind, per_shard_resets[idx])))
@@ -283,6 +367,8 @@ class ShardedRoundEngine:
         if tel_on:
             t2 = perf_counter()
             tel.record_span("engine.compute", t2 - t1)
+            if tracer is not None:
+                tracer.add("engine.compute", t1, t2, round_index=round_index, mode="sharded")
 
         # Route messages through the coordinator (validation + bandwidth).
         inboxes: Dict[int, Dict[int, Envelope]] = {}
@@ -310,6 +396,8 @@ class ShardedRoundEngine:
         if tel_on:
             t3 = perf_counter()
             tel.record_span("engine.route", t3 - t2)
+            if tracer is not None:
+                tracer.add("engine.route", t2, t3, round_index=round_index, mode="sharded")
 
         # Receive & update, per shard.  A shard that reacted must also update
         # (to drain its activity bookkeeping); one that only received messages
@@ -359,6 +447,9 @@ class ShardedRoundEngine:
             t4 = perf_counter()
             tel.record_span("engine.deliver", t4 - t3)
             tel.record_span("engine.round", t4 - t_round)
+            if tracer is not None:
+                tracer.add("engine.deliver", t3, t4, round_index=round_index, mode="sharded")
+                tracer.add("engine.round", t_round, t4, round_index=round_index, mode="sharded")
             tel.count("engine.rounds")
             tel.count("engine.envelopes", num_envelopes)
             tel.count("engine.shards_reacting", sum(reacting))
@@ -423,10 +514,51 @@ class ShardedRoundEngine:
             fingerprints.update(shard_fp)
         return fingerprints
 
+    def collect_worker_telemetry(self) -> List[Dict[str, Any]]:
+        """Pull each worker's final telemetry snapshot + trace buffer and
+        merge them into the coordinator's registry.
+
+        Runs automatically from :meth:`shutdown` (before the stop commands go
+        out), and at most once: worker counters/spans/histograms fold into
+        ``TELEMETRY`` via :func:`~repro.obs.collect.merge_snapshot_into`,
+        worker trace events are absorbed into the live trace ring, and the
+        per-stage ``engine.shard_skew.*`` gauges are published.  Returns the
+        raw per-worker snapshots (also kept on :attr:`worker_snapshots`).
+        """
+        if self._closed or not self._workers_instrumented:
+            return []
+        self._workers_instrumented = False  # merge exactly once
+        payloads = []
+        try:
+            for conn in self._conns:
+                conn.send(("telemetry", None))
+            for conn in self._conns:
+                status, payload = conn.recv()
+                if status != "ok":  # pragma: no cover - defensive
+                    raise RuntimeError(payload)
+                payloads.append(payload)
+        except (BrokenPipeError, EOFError):  # pragma: no cover - defensive
+            return []
+        tel = TELEMETRY
+        snapshots: List[Dict[str, Any]] = []
+        for snapshot, trace in payloads:
+            if snapshot is None:
+                continue
+            snapshots.append(snapshot)
+            if tel.enabled:
+                merge_snapshot_into(tel, snapshot)
+            if trace is not None and tel.tracer is not None:
+                tel.tracer.extend_from_dict(trace)
+        if tel.enabled and snapshots:
+            record_shard_skew(tel, snapshots)
+        self.worker_snapshots = snapshots
+        return snapshots
+
     def shutdown(self) -> None:
-        """Terminate the worker processes."""
+        """Terminate the worker processes (collecting their telemetry first)."""
         if self._closed:
             return
+        self.collect_worker_telemetry()
         for conn in self._conns:
             try:
                 conn.send(("stop", None))

@@ -128,6 +128,7 @@ class RoundEngine:
         # interleaved in the send loop below.
         tel = TELEMETRY
         tel_on = tel.enabled
+        tracer = tel.tracer if tel_on else None
         if tel_on:
             t_round = t0 = perf_counter()
 
@@ -208,6 +209,15 @@ class RoundEngine:
             t5 = perf_counter()
             tel.record_span("engine.query", t5 - t4)
             tel.record_span("engine.round", t5 - t_round)
+            if tracer is not None:
+                # Timeline slices must be contiguous, so the interleaved
+                # compute/route region exports as one "engine.send" slice.
+                tracer.add("engine.indications", t0, t1, round_index=round_index, mode="dense")
+                tracer.add("engine.react", t1, t2, round_index=round_index, mode="dense")
+                tracer.add("engine.send", t2, t3, round_index=round_index, mode="dense")
+                tracer.add("engine.deliver", t3, t4, round_index=round_index, mode="dense")
+                tracer.add("engine.query", t4, t5, round_index=round_index, mode="dense")
+                tracer.add("engine.round", t_round, t5, round_index=round_index, mode="dense")
             tel.count("engine.rounds")
             tel.count("engine.envelopes", num_envelopes)
             tel.observe("engine.active_set", n, SIZE_BUCKETS)
@@ -348,6 +358,7 @@ class SparseRoundEngine(RoundEngine):
         nodes = self.nodes
         tel = TELEMETRY
         tel_on = tel.enabled
+        tracer = tel.tracer if tel_on else None
         if tel_on:
             t_round = t0 = perf_counter()
 
@@ -463,6 +474,13 @@ class SparseRoundEngine(RoundEngine):
             t5 = perf_counter()
             tel.record_span("engine.query", t5 - t4)
             tel.record_span("engine.round", t5 - t_round)
+            if tracer is not None:
+                tracer.add("engine.indications", t0, t1, round_index=round_index, mode="sparse")
+                tracer.add("engine.react", t1, t2, round_index=round_index, mode="sparse")
+                tracer.add("engine.send", t2, t3, round_index=round_index, mode="sparse")
+                tracer.add("engine.deliver", t3, t4, round_index=round_index, mode="sparse")
+                tracer.add("engine.query", t4, t5, round_index=round_index, mode="sparse")
+                tracer.add("engine.round", t_round, t5, round_index=round_index, mode="sparse")
             tel.count("engine.rounds")
             tel.count("engine.envelopes", num_envelopes)
             tel.count("engine.quiescent_skips", n - len(touched))

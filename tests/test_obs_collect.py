@@ -1,0 +1,218 @@
+"""Tests for cross-process telemetry collection.
+
+Sharded-engine workers run their own process-local registry and ship final
+snapshots (and trace buffers) back over the result pipes at shutdown; the
+coordinator folds them into the module singleton.  These tests cover the
+merge primitive, the shard-skew gauge family, and the end-to-end path: a
+sharded run with telemetry enabled whose merged report contains worker-side
+``engine.worker.*`` spans whose totals match the per-worker snapshots.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+
+from repro.core import TriangleMembershipNode
+from repro.obs import (
+    SIZE_BUCKETS,
+    TELEMETRY,
+    Histogram,
+    Telemetry,
+    TraceBuffer,
+    compute_shard_skew,
+    merge_snapshot_into,
+    record_shard_skew,
+)
+from repro.simulator import RoundChanges
+from repro.simulator.parallel import ShardedRoundEngine
+
+WORKER_STAGES = (
+    "engine.worker.indications",
+    "engine.worker.compute",
+    "engine.worker.deliver",
+)
+
+
+def _snapshot(spans=None, counters=None, gauges=None, sizes=()):
+    """A worker-shaped snapshot dict built through a real registry."""
+    telemetry = Telemetry(enabled=True)
+    for name, (count, total) in (spans or {}).items():
+        for _ in range(count - 1):
+            telemetry.record_span(name, 0.0)
+        telemetry.record_span(name, total)
+    for name, value in (counters or {}).items():
+        telemetry.count(name, value)
+    for name, value in (gauges or {}).items():
+        telemetry.gauge(name, value)
+    for value in sizes:
+        telemetry.observe("engine.worker.active_set", value, buckets=SIZE_BUCKETS)
+    return telemetry.snapshot(final=True)
+
+
+class TestMergeSnapshotInto:
+    def test_counters_sum_spans_fold_gauges_last_win(self):
+        telemetry = Telemetry(enabled=True)
+        telemetry.count("engine.rounds", 5)
+        telemetry.record_span("engine.round", 1.0)
+        merge_snapshot_into(
+            telemetry,
+            _snapshot(
+                spans={"engine.round": (2, 3.0), "engine.worker.compute": (1, 0.5)},
+                counters={"engine.rounds": 7},
+                gauges={"engine.mode": "worker"},
+            ),
+        )
+        snap = telemetry.snapshot()
+        assert snap["counters"]["engine.rounds"] == 12
+        assert snap["spans"]["engine.round"]["count"] == 3
+        assert snap["spans"]["engine.round"]["total_s"] == pytest.approx(4.0)
+        assert snap["spans"]["engine.round"]["max_s"] == pytest.approx(3.0)
+        assert snap["spans"]["engine.worker.compute"]["count"] == 1
+        assert snap["gauges"]["engine.mode"] == "worker"
+
+    def test_histograms_merge_bucket_wise(self):
+        telemetry = Telemetry(enabled=True)
+        telemetry.observe("engine.worker.active_set", 2.0, buckets=SIZE_BUCKETS)
+        merge_snapshot_into(telemetry, _snapshot(sizes=[4.0, 8.0]))
+        hist = telemetry.histograms["engine.worker.active_set"]
+        assert hist.count == 3
+        assert hist.max == 8.0
+
+    def test_merge_into_fresh_registry_round_trips(self):
+        source = _snapshot(
+            spans={"engine.worker.deliver": (3, 0.9)},
+            counters={"engine.worker.updates": 3},
+            sizes=[1.0],
+        )
+        telemetry = Telemetry(enabled=True)
+        merge_snapshot_into(telemetry, source)
+        merged = telemetry.snapshot()
+        assert merged["spans"]["engine.worker.deliver"] == source["spans"][
+            "engine.worker.deliver"
+        ]
+        assert merged["counters"] == source["counters"]
+        assert (
+            merged["histograms"]["engine.worker.active_set"]["counts"]
+            == source["histograms"]["engine.worker.active_set"]["counts"]
+        )
+
+
+class TestShardSkew:
+    def test_balanced_workers_have_skew_one(self):
+        snapshots = [
+            _snapshot(spans={"engine.worker.compute": (4, 2.0)}) for _ in range(3)
+        ]
+        skew = compute_shard_skew(snapshots)
+        assert skew["engine.shard_skew.compute"] == pytest.approx(1.0)
+
+    def test_idle_worker_counts_as_zero_time(self):
+        snapshots = [
+            _snapshot(spans={"engine.worker.compute": (1, 3.0)}),
+            _snapshot(),  # never touched the stage: an idle shard IS skew
+        ]
+        skew = compute_shard_skew(snapshots)
+        # max = 3.0, mean = 1.5 -> skew 2.0
+        assert skew["engine.shard_skew.compute"] == pytest.approx(2.0)
+
+    def test_zero_time_stage_and_empty_input_are_omitted(self):
+        assert compute_shard_skew([]) == {}
+        snapshots = [_snapshot(spans={"engine.worker.compute": (1, 0.0)})]
+        assert compute_shard_skew(snapshots) == {}
+
+    def test_non_worker_spans_are_ignored(self):
+        snapshots = [_snapshot(spans={"engine.round": (1, 5.0)})]
+        assert compute_shard_skew(snapshots) == {}
+
+    def test_record_publishes_gauges(self):
+        telemetry = Telemetry(enabled=True)
+        snapshots = [
+            _snapshot(spans={"engine.worker.deliver": (1, 1.0)}),
+            _snapshot(spans={"engine.worker.deliver": (1, 3.0)}),
+        ]
+        skew = record_shard_skew(telemetry, snapshots)
+        assert telemetry.gauges["engine.shard_skew.deliver"] == skew[
+            "engine.shard_skew.deliver"
+        ]
+        assert telemetry.gauges["engine.shard_workers"] == 2
+
+
+def _run_sharded_rounds(engine: ShardedRoundEngine, rounds: int = 12) -> None:
+    pairs = list(combinations(range(engine.network.n), 2))
+    for i in range(rounds):
+        engine.execute_round(RoundChanges.inserts([pairs[i % len(pairs)]]))
+        engine.execute_round(RoundChanges.deletes([pairs[i % len(pairs)]]))
+    while not engine.all_consistent:
+        engine.execute_quiet_round()
+
+
+class TestEndToEndCollection:
+    def teardown_method(self):
+        TELEMETRY.disable()
+
+    def test_workers_ship_spans_and_merge_into_coordinator(self):
+        TELEMETRY.enable(tracer=TraceBuffer(10_000))
+        try:
+            with ShardedRoundEngine(8, TriangleMembershipNode, num_workers=3) as engine:
+                _run_sharded_rounds(engine)
+            snapshots = engine.worker_snapshots
+            tracer = TELEMETRY.tracer
+            merged = TELEMETRY.snapshot(final=True)
+        finally:
+            TELEMETRY.disable()
+
+        # Every worker contributed nonzero per-stage data.
+        assert len(snapshots) == 3
+        for snap in snapshots:
+            for stage in WORKER_STAGES:
+                assert snap["spans"][stage]["count"] > 0
+            assert snap["counters"]["engine.worker.reacts"] > 0
+            assert snap["counters"]["engine.worker.updates"] > 0
+
+        # Satellite invariant: coordinator-merged worker span totals equal the
+        # sum over the shipped per-worker snapshots.
+        for stage in WORKER_STAGES:
+            merged_stat = merged["spans"][stage]
+            assert merged_stat["count"] == sum(
+                s["spans"][stage]["count"] for s in snapshots
+            )
+            assert merged_stat["total_s"] == pytest.approx(
+                sum(s["spans"][stage]["total_s"] for s in snapshots)
+            )
+
+        # Coordinator-side stage spans are still there alongside them.
+        for stage in ("engine.indications", "engine.compute", "engine.route",
+                      "engine.deliver", "engine.round"):
+            assert merged["spans"][stage]["count"] > 0
+
+        # Shard-skew gauges are populated and sane.
+        assert merged["gauges"]["engine.shard_workers"] == 3
+        for stage in ("indications", "compute", "deliver"):
+            assert merged["gauges"][f"engine.shard_skew.{stage}"] >= 1.0
+
+        # Worker trace events were absorbed into the coordinator's buffer.
+        worker_events = [
+            e for e in tracer.events() if e["name"].startswith("engine.worker.")
+        ]
+        assert {e["worker"] for e in worker_events} == {0, 1, 2}
+
+    def test_collection_happens_once(self):
+        TELEMETRY.enable()
+        try:
+            engine = ShardedRoundEngine(6, TriangleMembershipNode, num_workers=2)
+            _run_sharded_rounds(engine, rounds=4)
+            first = engine.collect_worker_telemetry()
+            assert len(first) == 2
+            assert engine.collect_worker_telemetry() == []
+            rounds_after_first = TELEMETRY.counters["engine.worker.reacts"]
+            engine.shutdown()  # must not double-merge
+            assert TELEMETRY.counters["engine.worker.reacts"] == rounds_after_first
+        finally:
+            TELEMETRY.disable()
+
+    def test_uninstrumented_run_ships_nothing(self):
+        with ShardedRoundEngine(6, TriangleMembershipNode, num_workers=2) as engine:
+            _run_sharded_rounds(engine, rounds=4)
+        assert engine.worker_snapshots == []
+        assert not TELEMETRY.enabled

@@ -44,11 +44,23 @@ def _spec(**overrides) -> ExperimentSpec:
 
 
 def _essence(record):
-    """The deterministic portion of a cell record (timing fields dropped)."""
+    """The deterministic portion of a cell record (timing and observability
+    payload fields dropped -- the shipped snapshot and trace-event bookkeeping
+    only exist on instrumented runs by design)."""
     return {
         key: value
         for key, value in record.items()
-        if key not in ("duration_s", "finished_at", "telemetry_path", "profile_path")
+        if key
+        not in (
+            "duration_s",
+            "finished_at",
+            "telemetry_path",
+            "profile_path",
+            "telemetry",
+            "trace_events",
+            "trace_events_dropped",
+            "trace_events_path",
+        )
     }
 
 

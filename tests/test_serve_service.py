@@ -208,3 +208,35 @@ class TestServeCLI:
         assert "serve.ingest" in final["spans"]
         assert "serve.answer_latency_s" in final["histograms"]
         assert final["counters"]["serve.batches"] > 0
+        # The log normalizer's ingest stats surface as serve.ingest.* counters.
+        assert final["counters"]["serve.ingest.records_read"] == 3
+        assert final["counters"]["serve.ingest.events_emitted"] > 0
+        assert "serve.ingest.coalesced_dropped" in final["counters"]
+        assert "serve.ingest.clamped_gap_rounds" in final["counters"]
+
+    def test_serve_trace_out(self, tmp_path, capsys):
+        from repro.obs.tracing import read_trace_jsonl
+
+        log, subs = self._write_inputs(tmp_path)
+        trace_path = tmp_path / "serve.trace.jsonl"
+        code = main(
+            [
+                "serve",
+                "--source", "log",
+                "--log", str(log),
+                "--nodes", "8",
+                "--subscriptions", str(subs),
+                "--settle-rounds", "4",
+                "--trace-out", str(trace_path),
+            ]
+        )
+        assert code == 0
+        events = read_trace_jsonl(trace_path)
+        names = {event["name"] for event in events}
+        assert "engine.round" in names
+        assert "serve.evaluate" in names
+        # Trace-out alone enables telemetry, but no snapshot sink is written.
+        assert not (tmp_path / "telemetry.jsonl").exists()
+        from repro.obs import TELEMETRY
+
+        assert not TELEMETRY.enabled and TELEMETRY.tracer is None
